@@ -1,0 +1,287 @@
+// Benchmarks regenerating every experiment in the paper-reproduction
+// index (DESIGN.md §3). Each BenchmarkEn runs experiment En end to end and
+// logs its table once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full set of results. Key scalar outcomes are attached as
+// custom benchmark metrics so shape regressions show up in benchstat.
+package ssmobile_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"ssmobile/internal/core"
+	"ssmobile/internal/sim"
+	"ssmobile/internal/trace"
+)
+
+const benchSeed = 1993
+
+// logTables renders each table through b.Log exactly once per benchmark.
+func logTables(b *testing.B, logged *bool, tables ...*core.Table) {
+	if *logged {
+		return
+	}
+	*logged = true
+	for _, t := range tables {
+		b.Log(t.String())
+	}
+}
+
+func BenchmarkE1DeviceAccess(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E1DeviceComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE2CostCrossover(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E2CostCrossover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE3WriteBuffer(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E3WriteBuffering(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Attach the 1MB-row reduction as a metric.
+		for _, row := range t.Rows {
+			if row[0] == "1MB" {
+				v, _ := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+				b.ReportMetric(v, "%reduction@1MB")
+			}
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE3FlushPolicyAblation(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E3FlushPolicyAblation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE3BlockSizeAblation(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E3BlockSizeAblation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE4ReadInPlace(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E4ReadInPlace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE5XIP(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E5XIP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE6WearLeveling(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E6WearLeveling(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE6Lifetime(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E6Lifetime(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE6StaticLeveling(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E6Static(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE7Banking(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E7Banking(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE7Segregation(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E7Segregation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE8Sizing(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E8Sizing(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE9EndToEnd(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E9EndToEnd(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE9FlashParts(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		t, err := core.E9FlashParts(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, t)
+	}
+}
+
+func BenchmarkE10CrashAndBattery(b *testing.B) {
+	logged := false
+	for i := 0; i < b.N; i++ {
+		tables, err := core.E10CrashAndBattery(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, &logged, tables...)
+	}
+}
+
+// Micro-benchmarks of the two storage organisations' hot paths: these
+// measure the Go cost of the simulation itself (ops/sec of the simulator),
+// useful when extending the models.
+
+func BenchmarkSolidStateWritePath(b *testing.B) {
+	sys, err := core.NewSolidState(core.SolidStateConfig{DRAMBytes: 16 << 20, FlashBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Create("bench"); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.WriteAt("bench", int64(i%1024)*4096, data); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolidStateReadPath(b *testing.B) {
+	sys, err := core.NewSolidState(core.SolidStateConfig{DRAMBytes: 16 << 20, FlashBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Create("bench"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.WriteAt("bench", 0, make([]byte, 1<<20)); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.ReadAt("bench", int64(i%256)*4096, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.GenerateBaker(trace.DefaultBaker(10*sim.Minute, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayOnSolidState(b *testing.B) {
+	tr, err := trace.GenerateBaker(trace.DefaultBaker(2*sim.Minute, benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSolidState(core.SolidStateConfig{DRAMBytes: 16 << 20, FlashBytes: 64 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Replay(sys, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

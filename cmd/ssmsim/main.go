@@ -1,0 +1,130 @@
+// Command ssmsim runs the experiments that reproduce the claims of
+// "Operating System Implications of Solid-State Mobile Computers"
+// (Cáceres, Douglis, Li, Marsh; HotOS-IV 1993).
+//
+// Usage:
+//
+//	ssmsim [-seed N] all                        run every experiment
+//	ssmsim [-seed N] e1 e3 ...                  run selected experiments
+//	ssmsim list                                 list experiment ids
+//	ssmsim replay -trace FILE [-system solid|disk|both]
+//	                                            replay a trace (see ssmtrace)
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssmobile/internal/core"
+	"ssmobile/internal/sim"
+	"ssmobile/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1993, "workload seed (experiments are deterministic per seed)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ssmsim [-seed N] all | list | <experiment id>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", core.ExperimentIDs())
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, id := range core.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if args[0] == "replay" {
+		replay(args[1:])
+		return
+	}
+	if args[0] == "all" {
+		if err := core.RunAll(os.Stdout, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "ssmsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range args {
+		if err := core.RunExperiment(os.Stdout, id, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "ssmsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// replay runs a trace file against one or both storage organisations and
+// prints a latency/energy summary.
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	traceFile := fs.String("trace", "", "trace file (ssmtrace format; required)")
+	system := fs.String("system", "both", "solid, disk, or both")
+	dramMB := fs.Int64("dram", 16, "DRAM size in MB")
+	secondaryMB := fs.Int64("secondary", 64, "flash/disk size in MB")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "ssmsim replay: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmsim:", err)
+		os.Exit(1)
+	}
+	tr, err := trace.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmsim:", err)
+		os.Exit(1)
+	}
+
+	var systems []core.System
+	if *system == "solid" || *system == "both" {
+		s, err := core.NewSolidState(core.SolidStateConfig{
+			DRAMBytes: *dramMB << 20, FlashBytes: *secondaryMB << 20,
+			RBoxBytes: 4 << 20, SnapshotEvery: 2048,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssmsim:", err)
+			os.Exit(1)
+		}
+		systems = append(systems, s)
+	}
+	if *system == "disk" || *system == "both" {
+		d, err := core.NewDisk(core.DiskConfig{DRAMBytes: *dramMB << 20, DiskBytes: *secondaryMB << 20})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssmsim:", err)
+			os.Exit(1)
+		}
+		systems = append(systems, d)
+	}
+	if len(systems) == 0 {
+		fmt.Fprintf(os.Stderr, "ssmsim: unknown -system %q\n", *system)
+		os.Exit(2)
+	}
+	for _, sys := range systems {
+		st, err := core.Replay(sys, tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssmsim: %s: %v\n", sys.Name(), err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s:\n", sys.Name())
+		fmt.Printf("  ops %d, wrote %.1fMB, read %.1fMB over %v\n",
+			st.Ops, float64(st.BytesWritten)/(1<<20), float64(st.BytesRead)/(1<<20), st.Elapsed)
+		fmt.Printf("  read  mean %v  p99 %v\n",
+			sim.Duration(st.ReadLatency.Mean()), sim.Duration(st.ReadLatency.Quantile(0.99)))
+		fmt.Printf("  write mean %v  p99 %v\n",
+			sim.Duration(st.WriteLatency.Mean()), sim.Duration(st.WriteLatency.Quantile(0.99)))
+		fmt.Printf("  energy %v\n", st.EnergyTotal)
+	}
+}

@@ -1,0 +1,118 @@
+// Command ssmtrace generates and inspects the synthetic workload traces
+// that drive the experiments.
+//
+// Usage:
+//
+//	ssmtrace gen [-kind baker|blocks] [-minutes M] [-seed N] [-o FILE]
+//	ssmtrace stats [FILE]
+//
+// Generated traces use the text format of internal/trace: one operation
+// per line, "<time-ns> <kind> <file> <offset> <size>".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ssmobile/internal/sim"
+	"ssmobile/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "stats":
+		stats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ssmtrace gen [-kind baker|blocks] [-minutes M] [-seed N] [-o FILE]")
+	fmt.Fprintln(os.Stderr, "       ssmtrace stats [FILE]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "baker", "workload kind: baker (office), pim (datebook), blocks (raw block)")
+	minutes := fs.Int("minutes", 30, "trace duration in virtual minutes (baker)")
+	seed := fs.Int64("seed", 1993, "generator seed")
+	ops := fs.Int("ops", 100000, "operation count (blocks)")
+	blocks := fs.Int("blocks", 4096, "logical block count (blocks)")
+	skew := fs.Float64("skew", 1.2, "zipf skew, 0 for uniform (blocks)")
+	readFrac := fs.Float64("reads", 0.5, "read fraction (blocks)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	var tr *trace.Trace
+	var err error
+	switch *kind {
+	case "baker":
+		tr, err = trace.GenerateBaker(trace.DefaultBaker(sim.Duration(*minutes)*sim.Minute, *seed))
+	case "pim":
+		tr, err = trace.GeneratePIM(trace.DefaultPIM(sim.Duration(*minutes)*sim.Minute, *seed))
+	case "blocks":
+		tr, err = trace.GenerateBlocks(trace.BlockConfig{
+			Ops: *ops, Blocks: *blocks, BlockSize: 4096,
+			ReadFrac: *readFrac, Skew: *skew, Seed: *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "ssmtrace: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmtrace:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := tr.WriteTo(w); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func stats(args []string) {
+	var r io.Reader = os.Stdin
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.ReadTrace(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmtrace:", err)
+		os.Exit(1)
+	}
+	s := tr.Stats()
+	fmt.Printf("operations:    %d\n", s.Ops)
+	fmt.Printf("  creates:     %d\n", s.Creates)
+	fmt.Printf("  writes:      %d (%.1f MB)\n", s.Writes, float64(s.BytesWritten)/(1<<20))
+	fmt.Printf("  reads:       %d (%.1f MB)\n", s.Reads, float64(s.BytesRead)/(1<<20))
+	fmt.Printf("  deletes:     %d\n", s.Deletes)
+	fmt.Printf("unique files:  %d\n", s.UniqueFiles)
+	fmt.Printf("duration:      %v\n", s.Duration)
+}

@@ -1,0 +1,3 @@
+module ssmobile
+
+go 1.22

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner produces the table(s) of one experiment.
+type Runner func() ([]*Table, error)
+
+func one(f func() (*Table, error)) Runner {
+	return func() ([]*Table, error) {
+		t, err := f()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+}
+
+// Registry maps experiment ids (e1..e10) to runners, with all stochastic
+// experiments tied to the given seed for reproducibility.
+func Registry(seed int64) map[string]Runner {
+	return map[string]Runner{
+		"e1": func() ([]*Table, error) {
+			a, err := E1DeviceComparison()
+			if err != nil {
+				return nil, err
+			}
+			b, err := E1BatteryLife()
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{a, b}, nil
+		},
+		"e2": one(E2CostCrossover),
+		"e3": func() ([]*Table, error) {
+			a, err := E3WriteBuffering(seed)
+			if err != nil {
+				return nil, err
+			}
+			b, err := E3FlushPolicyAblation(seed)
+			if err != nil {
+				return nil, err
+			}
+			c, err := E3BlockSizeAblation(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{a, b, c}, nil
+		},
+		"e4": one(E4ReadInPlace),
+		"e5": one(E5XIP),
+		"e6": func() ([]*Table, error) {
+			a, err := E6WearLeveling(seed)
+			if err != nil {
+				return nil, err
+			}
+			b, err := E6Lifetime(seed)
+			if err != nil {
+				return nil, err
+			}
+			c, err := E6Static(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{a, b, c}, nil
+		},
+		"e7": func() ([]*Table, error) {
+			a, err := E7Banking(seed)
+			if err != nil {
+				return nil, err
+			}
+			b, err := E7Segregation(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{a, b}, nil
+		},
+		"e8": one(func() (*Table, error) { return E8Sizing(seed) }),
+		"e9": func() ([]*Table, error) {
+			a, err := E9EndToEnd(seed)
+			if err != nil {
+				return nil, err
+			}
+			b, err := E9FlashParts(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{a, b}, nil
+		},
+		"e10": func() ([]*Table, error) { return E10CrashAndBattery(seed) },
+	}
+}
+
+// ExperimentIDs lists the registry keys in order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, 10)
+	for id := range Registry(0) {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// RunExperiment runs one experiment by id and prints its tables.
+func RunExperiment(w io.Writer, id string, seed int64) error {
+	r, ok := Registry(seed)[id]
+	if !ok {
+		return fmt.Errorf("core: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	tables, err := r()
+	if err != nil {
+		return fmt.Errorf("experiment %s: %w", id, err)
+	}
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+	return nil
+}
+
+// RunAll runs every experiment in order.
+func RunAll(w io.Writer, seed int64) error {
+	for _, id := range ExperimentIDs() {
+		if err := RunExperiment(w, id, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ssmobile/internal/fs"
+)
+
+// The whole-system recovery property: with the write-back daemon disabled
+// (so flash changes only on explicit Sync), the system must behave as a
+// two-level model —
+//
+//   - live state: what reads see normally, and what survives an OS crash
+//     (battery-backed DRAM keeps everything, the recovery box restores
+//     the namespace);
+//   - synced state: a snapshot taken at each Sync, which is exactly what
+//     survives a power failure followed by a full device-scan remount.
+//
+// Any divergence (stale data resurrected, synced data lost, namespace
+// drift) fails the property.
+func TestSystemCrashRecoveryProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	type op struct {
+		Action  uint8 // 0-2 write, 3 delete, 4 sync, 5 os-crash, 6 power-fail
+		FileIdx uint8
+		Val     byte
+		SizeKB  uint8
+	}
+	files := []string{"a", "b", "c", "d"}
+
+	f := func(ops []op) bool {
+		sys, err := NewSolidState(SolidStateConfig{
+			DRAMBytes:   16 << 20,
+			FlashBytes:  32 << 20,
+			BufferBytes: 8 << 20, // ample: no evictions
+			RBoxBytes:   1 << 20,
+			// WriteBackDelay left at default but Tick is never called, so
+			// age-based migration never runs: flash changes only on Sync.
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		live := map[string][]byte{}
+		synced := map[string][]byte{}
+
+		for i, o := range ops {
+			sys.Clock().Advance(1 << 20) // ~1ms per op
+			name := files[int(o.FileIdx)%len(files)]
+			switch o.Action % 7 {
+			case 0, 1, 2: // write (create if needed)
+				size := (int(o.SizeKB)%16 + 1) * 512
+				data := bytes.Repeat([]byte{o.Val}, size)
+				if !sys.FS.Exists("/" + name) {
+					if err := sys.Create(name); err != nil {
+						t.Logf("op %d create: %v", i, err)
+						return false
+					}
+				}
+				if _, err := sys.WriteAt(name, 0, data); err != nil {
+					t.Logf("op %d write: %v", i, err)
+					return false
+				}
+				// Model: replace the prefix, like WriteAt at offset 0.
+				cur := live[name]
+				if len(cur) < size {
+					grown := make([]byte, size)
+					copy(grown, cur)
+					cur = grown
+				} else {
+					cur = append([]byte(nil), cur...)
+				}
+				copy(cur, data)
+				live[name] = cur
+			case 3: // delete
+				if sys.FS.Exists("/" + name) {
+					if err := sys.Remove(name); err != nil {
+						t.Logf("op %d remove: %v", i, err)
+						return false
+					}
+					delete(live, name)
+				}
+			case 4: // sync: snapshot the model
+				if err := sys.Sync(); err != nil {
+					t.Logf("op %d sync: %v", i, err)
+					return false
+				}
+				synced = map[string][]byte{}
+				for k, v := range live {
+					synced[k] = append([]byte(nil), v...)
+				}
+			case 5: // OS crash: everything survives
+				recovered, err := fs.RecoverAfterCrash(fs.Config{
+					RBoxBase: 0, RBoxBytes: 1 << 20,
+				}, sys.Clock(), sys.Storage, sys.DRAM)
+				if err != nil {
+					t.Logf("op %d crash recovery: %v", i, err)
+					return false
+				}
+				sys.FS = recovered
+			case 6: // power failure: revert to synced state
+				sys.DRAM.PowerFail()
+				remounted, err := sys.RemountAfterPowerFailure()
+				if err != nil {
+					t.Logf("op %d remount: %v", i, err)
+					return false
+				}
+				sys = remounted
+				live = map[string][]byte{}
+				for k, v := range synced {
+					live[k] = append([]byte(nil), v...)
+				}
+			}
+		}
+
+		// Final check: the system matches the live model exactly.
+		for _, name := range files {
+			want, exists := live[name]
+			if sys.FS.Exists("/"+name) != exists {
+				t.Logf("existence of %s: fs=%v model=%v", name, !exists, exists)
+				return false
+			}
+			if !exists {
+				continue
+			}
+			got, err := sys.FS.ReadFile("/" + name)
+			if err != nil {
+				t.Logf("read %s: %v", name, err)
+				return false
+			}
+			if !bytes.Equal(got, want) {
+				t.Logf("%s: got %d bytes want %d (first diff at %s)",
+					name, len(got), len(want), firstDiff(got, want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprint(i)
+		}
+	}
+	return "length"
+}

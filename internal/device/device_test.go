@@ -1,0 +1,216 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The catalog must reproduce the qualitative orderings Section 2 of the
+// paper asserts. These tests pin them so no later calibration tweak can
+// silently invert a comparison the experiments depend on.
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalog has %d parts, want 5", len(cat))
+	}
+	classes := map[Class]int{}
+	for _, p := range cat {
+		classes[p.Class]++
+		if p.Name == "" || p.Year == 0 || p.CapacityMB <= 0 {
+			t.Errorf("%s: incomplete identity fields", p.Name)
+		}
+		if p.DollarsPerMB <= 0 || p.MBPerCubicInch <= 0 {
+			t.Errorf("%s: missing cost or density", p.Name)
+		}
+	}
+	if classes[DRAM] != 1 || classes[Flash] != 2 || classes[Disk] != 2 {
+		t.Fatalf("class mix %v, want 1 DRAM / 2 flash / 2 disk", classes)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if DRAM.String() != "DRAM" || Flash.String() != "flash" || Disk.String() != "disk" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() != "Class(9)" {
+		t.Error("unknown class formatting wrong")
+	}
+}
+
+func TestPaperOrderingDRAMFasterThanFlash(t *testing.T) {
+	// "DRAM is faster than flash memory but somewhat costlier."
+	if NECDram.ReadLatencyNs(4096) >= IntelFlash.ReadLatencyNs(4096) {
+		t.Error("DRAM read should beat flash read")
+	}
+	if NECDram.WriteLatencyNs(4096) >= IntelFlash.WriteLatencyNs(4096) {
+		t.Error("DRAM write should beat flash write")
+	}
+	if NECDram.DollarsPerMB <= IntelFlash.DollarsPerMB {
+		t.Error("DRAM should cost more per MB than flash in 1993")
+	}
+}
+
+func TestPaperOrderingFlashWriteTwoOrdersSlowerThanRead(t *testing.T) {
+	// "write access times are two orders of magnitude higher than read
+	// access times" — per byte, for the memory-mapped part.
+	ratio := IntelFlash.WriteLatencyNsPerByte / IntelFlash.ReadLatencyNsPerByte
+	if ratio < 30 || ratio > 300 {
+		t.Errorf("flash write/read per-byte ratio = %.0f, want ~100 (two orders)", ratio)
+	}
+}
+
+func TestPaperOrderingDiskSlowerButCheaperThanFlash(t *testing.T) {
+	// "disk is slower than flash memory but considerably cheaper."
+	// A small random read on disk pays positioning, which even without
+	// seek modelling here is dominated by transfer setup; compare an 8KB
+	// transfer plus average seek against the flash read.
+	diskNs := KittyHawk.ReadLatencyNs(8192) + KittyHawk.AvgSeekNs
+	flashNs := IntelFlash.ReadLatencyNs(8192)
+	if diskNs <= flashNs {
+		t.Errorf("disk 8KB read %v ns should exceed flash %v ns", diskNs, flashNs)
+	}
+	if KittyHawk.DollarsPerMB >= IntelFlash.DollarsPerMB {
+		t.Error("disk should be cheaper per MB than flash in 1993")
+	}
+}
+
+func TestPaperOrderingFlashLowestPower(t *testing.T) {
+	// "flash memory has lower power consumption than either DRAM or disk."
+	if IntelFlash.ActiveMilliwattsPerMB >= NECDram.ActiveMilliwattsPerMB {
+		t.Error("flash active power per MB should undercut DRAM")
+	}
+	flashDrive20MB := IntelFlash.ActiveMilliwattsPerMB * 20
+	if flashDrive20MB >= KittyHawk.ActiveMilliwatts {
+		t.Error("a 20MB flash card should draw less than the KittyHawk")
+	}
+}
+
+func TestPaperDensityNumbers(t *testing.T) {
+	// Paper: NEC DRAM 15 MB/in³ vs KittyHawk 19 MB/in³; flash within 20%
+	// of KittyHawk; flash about half the Fujitsu.
+	if NECDram.MBPerCubicInch != 15 || KittyHawk.MBPerCubicInch != 19 {
+		t.Error("paper's density figures changed")
+	}
+	if d := IntelFlash.MBPerCubicInch / KittyHawk.MBPerCubicInch; d < 0.8 {
+		t.Errorf("flash density %.2f of KittyHawk, paper says within 20%%", d)
+	}
+	if r := IntelFlash.MBPerCubicInch / Fujitsu.MBPerCubicInch; r < 0.4 || r > 0.6 {
+		t.Errorf("flash/Fujitsu density ratio %.2f, paper says about half", r)
+	}
+}
+
+func TestPaperEnduranceAndEraseSector(t *testing.T) {
+	if IntelFlash.EnduranceCycles != 100000 || SunDiskFlash.EnduranceCycles != 100000 {
+		t.Error("paper guarantees 100,000 erase cycles")
+	}
+	if SunDiskFlash.EraseBlockBytes != 512 {
+		t.Error("paper: minimum erase sector in the 512-byte range")
+	}
+	if NECDram.EraseBlockBytes != 0 || KittyHawk.EraseBlockBytes != 0 {
+		t.Error("only flash has erase blocks")
+	}
+}
+
+func TestTrendCostDeclines(t *testing.T) {
+	tr := PaperTrend()
+	for _, p := range Catalog() {
+		c93 := tr.DollarsPerMB(p, 1993)
+		c96 := tr.DollarsPerMB(p, 1996)
+		if math.Abs(c93-p.DollarsPerMB) > 1e-9 {
+			t.Errorf("%s: projection at base year should equal quote", p.Name)
+		}
+		if c96 >= c93 {
+			t.Errorf("%s: cost should decline, 1993=%.2f 1996=%.2f", p.Name, c93, c96)
+		}
+	}
+}
+
+func TestTrendMemoryOutpacesDisk(t *testing.T) {
+	tr := PaperTrend()
+	// Over any horizon the DRAM:disk $/MB ratio must shrink.
+	r93 := tr.DollarsPerMB(NECDram, 1993) / tr.DollarsPerMB(KittyHawk, 1993)
+	r00 := tr.DollarsPerMB(NECDram, 2000) / tr.DollarsPerMB(KittyHawk, 2000)
+	if r00 >= r93 {
+		t.Errorf("DRAM/disk cost ratio should shrink: 1993=%.1f 2000=%.1f", r93, r00)
+	}
+}
+
+func TestCostCrossover1996(t *testing.T) {
+	// Paper: "for 40-Megabyte configurations, the cost per megabyte of
+	// flash memory will match that of magnetic disks by the year 1996".
+	tr := PaperTrend()
+	y, ok := tr.CostCrossoverYear(IntelFlash, KittyHawk, 40, 2005)
+	if !ok {
+		t.Fatal("no flash/disk cost crossover found by 2005")
+	}
+	if y < 1995 || y > 1998 {
+		t.Errorf("40MB flash/disk cost crossover in %d, paper says ~1996", y)
+	}
+}
+
+func TestDensityCrossoverDRAMPassesDisk(t *testing.T) {
+	// Paper: "the density of DRAM will shortly exceed that of disk."
+	tr := PaperTrend()
+	y, ok := tr.DensityCrossoverYear(NECDram, KittyHawk, 2005)
+	if !ok {
+		t.Fatal("DRAM density never passes KittyHawk")
+	}
+	if y > 1997 {
+		t.Errorf("DRAM passes disk density in %d, want 'shortly' after 1993", y)
+	}
+}
+
+func TestLargeCapacityCrossoverLater(t *testing.T) {
+	// The drive-mechanism price floor matters less at large capacities,
+	// so the crossover year must be monotonically non-decreasing in
+	// capacity.
+	tr := PaperTrend()
+	prev := 0
+	for _, mb := range []float64{10, 40, 120, 500} {
+		y, ok := tr.CostCrossoverYear(IntelFlash, Fujitsu, mb, 2030)
+		if !ok {
+			t.Fatalf("no crossover for %vMB by 2030", mb)
+		}
+		if y < prev {
+			t.Errorf("crossover for %vMB at %d earlier than smaller config at %d", mb, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestLatencyModelsScaleWithSize(t *testing.T) {
+	for _, p := range Catalog() {
+		small, large := p.ReadLatencyNs(512), p.ReadLatencyNs(8192)
+		if large <= small {
+			t.Errorf("%s: 8KB read (%v) not slower than 512B (%v)", p.Name, large, small)
+		}
+		if w := p.WriteLatencyNs(512); w <= 0 {
+			t.Errorf("%s: non-positive write latency", p.Name)
+		}
+	}
+}
+
+// Property: projections never go negative and are monotone in year.
+func TestTrendMonotoneProperty(t *testing.T) {
+	tr := PaperTrend()
+	f := func(yearOffset uint8) bool {
+		y := 1993 + int(yearOffset%50)
+		for _, p := range Catalog() {
+			if tr.DollarsPerMB(p, y) <= 0 {
+				return false
+			}
+			if tr.DollarsPerMB(p, y+1) >= tr.DollarsPerMB(p, y) {
+				return false
+			}
+			if tr.MBPerCubicInch(p, y+1) <= tr.MBPerCubicInch(p, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package disk simulates the small magnetic disk drives the paper argues
+// flash will displace: the Hewlett-Packard KittyHawk 1.3-inch drive and
+// the Fujitsu M2633 2.5-inch drive.
+//
+// The model is a classic mechanical one — seek time linear in cylinder
+// distance (calibrated so the average seek covers one third of the
+// cylinders), half-rotation average rotational latency, streaming
+// transfer — plus the mobile-specific power management the paper's energy
+// comparisons need: the drive spins down after an idle timeout and pays a
+// spin-up delay (and energy surge) on the next access.
+package disk
+
+import (
+	"errors"
+	"fmt"
+
+	"ssmobile/internal/device"
+	"ssmobile/internal/sim"
+)
+
+// SectorBytes is the fixed sector size of the simulated drives.
+const SectorBytes = 512
+
+// ErrOutOfRange reports an access beyond the end of the drive.
+var ErrOutOfRange = errors.New("disk: address out of range")
+
+// Config fixes the geometry, part parameters and power management of a
+// simulated drive.
+type Config struct {
+	// CapacityBytes is the drive size; rounded down to whole cylinders.
+	CapacityBytes int64
+	// Params supplies the mechanical and power figures; typically
+	// device.KittyHawk or device.Fujitsu.
+	Params device.Params
+	// SectorsPerTrack and Heads fix the cylinder size.
+	SectorsPerTrack int
+	Heads           int
+	// SpindownTimeout is how long the drive idles before spinning down to
+	// save power; zero disables spindown.
+	SpindownTimeout sim.Duration
+	// MeterCategory defaults to "disk".
+	MeterCategory string
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CapacityBytes < int64(c.bytesPerCylinderRaw()) {
+		return fmt.Errorf("disk: capacity %d below one cylinder", c.CapacityBytes)
+	}
+	if c.Params.Class != device.Disk {
+		return fmt.Errorf("disk: params %q are %v, not disk", c.Params.Name, c.Params.Class)
+	}
+	if c.SectorsPerTrack <= 0 || c.Heads <= 0 {
+		return fmt.Errorf("disk: bad geometry %d sectors/track × %d heads", c.SectorsPerTrack, c.Heads)
+	}
+	return nil
+}
+
+func (c Config) bytesPerCylinderRaw() int {
+	return c.SectorsPerTrack * c.Heads * SectorBytes
+}
+
+// Stats aggregates the drive's operation counters.
+type Stats struct {
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+	SeekNs, RotateNs        int64
+	Spinups                 int64
+}
+
+// Device is one simulated drive. Not safe for concurrent use.
+type Device struct {
+	cfg   Config
+	clock *sim.Clock
+	meter *sim.EnergyMeter
+
+	data      []byte
+	cylinders int
+	headCyl   int
+
+	spunDown    bool
+	lastEnd     sim.Time // when the last operation finished
+	lastCharged sim.Time // power charged through this instant
+
+	reads, writes           sim.Counter
+	bytesRead, bytesWritten sim.Counter
+	seekNs, rotateNs        sim.Counter
+	spinups                 sim.Counter
+}
+
+// New builds a drive with zeroed media, head at cylinder 0, spinning.
+func New(cfg Config, clock *sim.Clock, meter *sim.EnergyMeter) (*Device, error) {
+	if cfg.SectorsPerTrack == 0 {
+		cfg.SectorsPerTrack = 32
+	}
+	if cfg.Heads == 0 {
+		cfg.Heads = 2
+	}
+	if cfg.MeterCategory == "" {
+		cfg.MeterCategory = "disk"
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cyls := int(cfg.CapacityBytes / int64(cfg.bytesPerCylinderRaw()))
+	return &Device{
+		cfg:       cfg,
+		clock:     clock,
+		meter:     meter,
+		data:      make([]byte, int64(cyls)*int64(cfg.bytesPerCylinderRaw())),
+		cylinders: cyls,
+	}, nil
+}
+
+// Capacity reports the usable drive size (whole cylinders).
+func (d *Device) Capacity() int64 { return int64(len(d.data)) }
+
+// Cylinders reports the cylinder count.
+func (d *Device) Cylinders() int { return d.cylinders }
+
+// Config returns the drive configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+func (d *Device) bytesPerCylinder() int { return d.cfg.bytesPerCylinderRaw() }
+
+func (d *Device) cylinderOf(addr int64) int { return int(addr / int64(d.bytesPerCylinder())) }
+
+// seekDuration models seek time as linear in distance, calibrated so that
+// the datasheet average seek corresponds to a one-third-stroke move.
+func (d *Device) seekDuration(from, to int) sim.Duration {
+	if from == to {
+		return 0
+	}
+	dist := from - to
+	if dist < 0 {
+		dist = -dist
+	}
+	third := float64(d.cylinders) / 3
+	ttk := d.cfg.Params.TrackToTrackNs
+	avg := d.cfg.Params.AvgSeekNs
+	ns := ttk + (avg-ttk)*float64(dist-1)/third
+	return sim.Duration(ns)
+}
+
+// halfRotation is the average rotational latency.
+func (d *Device) halfRotation() sim.Duration {
+	secPerRev := 60.0 / d.cfg.Params.RotationalRPM
+	return sim.Duration(secPerRev / 2 * 1e9)
+}
+
+func (d *Device) transfer(n int) sim.Duration {
+	return sim.Duration(float64(n) / (d.cfg.Params.TransferMBPerSec * 1e6) * 1e9)
+}
+
+// settlePower charges idle/sleep power for the span since the last charge
+// and applies the spindown policy. Called at the start of every operation
+// and by ChargeIdle.
+func (d *Device) settlePower(now sim.Time) {
+	if now <= d.lastCharged {
+		return
+	}
+	gap := now.Sub(d.lastCharged)
+	cat := d.cfg.MeterCategory + "-idle"
+	switch {
+	case d.spunDown:
+		d.meter.Charge(cat, sim.EnergyFor(d.cfg.Params.SleepMilliwatts, gap))
+	case d.cfg.SpindownTimeout > 0 && gap > d.cfg.SpindownTimeout:
+		// Spinning for the timeout, asleep for the rest.
+		d.meter.Charge(cat, sim.EnergyFor(d.cfg.Params.IdleMilliwatts, d.cfg.SpindownTimeout))
+		d.meter.Charge(cat, sim.EnergyFor(d.cfg.Params.SleepMilliwatts, gap-d.cfg.SpindownTimeout))
+		d.spunDown = true
+	default:
+		d.meter.Charge(cat, sim.EnergyFor(d.cfg.Params.IdleMilliwatts, gap))
+	}
+	d.lastCharged = now
+}
+
+// access performs the mechanical part common to reads and writes and
+// returns the total latency, which it has already advanced the clock by.
+func (d *Device) access(addr int64, n int) sim.Duration {
+	now := d.clock.Now()
+	d.settlePower(now)
+
+	var total sim.Duration
+	if d.spunDown {
+		spin := sim.Duration(d.cfg.Params.SpinupNs)
+		total += spin
+		d.spunDown = false
+		d.spinups.Inc()
+		// Spin-up draws roughly double active power.
+		d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(2*d.cfg.Params.ActiveMilliwatts, spin))
+	}
+
+	target := d.cylinderOf(addr)
+	seek := d.seekDuration(d.headCyl, target)
+	rot := d.halfRotation()
+	xfer := d.transfer(n) + sim.Duration(d.cfg.Params.SetupNs)
+	d.headCyl = target
+	d.seekNs.Add(int64(seek))
+	d.rotateNs.Add(int64(rot))
+
+	op := seek + rot + xfer
+	total += op
+	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.cfg.Params.ActiveMilliwatts, op))
+	d.clock.Advance(total)
+	d.lastEnd = d.clock.Now()
+	d.lastCharged = d.lastEnd
+	return total
+}
+
+func (d *Device) checkRange(addr int64, n int) error {
+	if addr < 0 || n < 0 || addr+int64(n) > d.Capacity() {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, addr, addr+int64(n), d.Capacity())
+	}
+	return nil
+}
+
+// Read copies len(buf) bytes at addr into buf, paying spin-up, seek,
+// rotation and transfer as appropriate, and returns the latency.
+func (d *Device) Read(addr int64, buf []byte) (sim.Duration, error) {
+	if err := d.checkRange(addr, len(buf)); err != nil {
+		return 0, err
+	}
+	lat := d.access(addr, len(buf))
+	copy(buf, d.data[addr:addr+int64(len(buf))])
+	d.reads.Inc()
+	d.bytesRead.Add(int64(len(buf)))
+	return lat, nil
+}
+
+// Write stores p at addr with the same mechanical costs as Read.
+func (d *Device) Write(addr int64, p []byte) (sim.Duration, error) {
+	if err := d.checkRange(addr, len(p)); err != nil {
+		return 0, err
+	}
+	lat := d.access(addr, len(p))
+	copy(d.data[addr:], p)
+	d.writes.Inc()
+	d.bytesWritten.Add(int64(len(p)))
+	return lat, nil
+}
+
+// Peek returns the byte at addr without mechanical simulation.
+func (d *Device) Peek(addr int64) byte { return d.data[addr] }
+
+// SpunDown reports whether the drive is currently spun down. The state
+// only updates when power is settled, so callers should ChargeIdle first.
+func (d *Device) SpunDown() bool { return d.spunDown }
+
+// ChargeIdle settles idle/sleep power up to the present.
+func (d *Device) ChargeIdle() { d.settlePower(d.clock.Now()) }
+
+// Stats summarises the drive counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Reads:        d.reads.Value(),
+		Writes:       d.writes.Value(),
+		BytesRead:    d.bytesRead.Value(),
+		BytesWritten: d.bytesWritten.Value(),
+		SeekNs:       d.seekNs.Value(),
+		RotateNs:     d.rotateNs.Value(),
+		Spinups:      d.spinups.Value(),
+	}
+}

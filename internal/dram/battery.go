@@ -1,0 +1,111 @@
+package dram
+
+import (
+	"errors"
+
+	"ssmobile/internal/sim"
+)
+
+// ErrBatteryDead reports a drain attempted after both batteries are empty.
+var ErrBatteryDead = errors.New("dram: battery pack exhausted")
+
+// Battery is one battery with a fixed energy capacity.
+type Battery struct {
+	Name      string
+	Capacity  sim.Energy
+	remaining sim.Energy
+}
+
+// NewBattery returns a full battery.
+func NewBattery(name string, capacity sim.Energy) *Battery {
+	return &Battery{Name: name, Capacity: capacity, remaining: capacity}
+}
+
+// Remaining reports the energy left.
+func (b *Battery) Remaining() sim.Energy { return b.remaining }
+
+// Empty reports whether the battery is exhausted.
+func (b *Battery) Empty() bool { return b.remaining <= 0 }
+
+// drain removes up to e from the battery and reports how much it could not
+// supply.
+func (b *Battery) drain(e sim.Energy) (shortfall sim.Energy) {
+	if e <= b.remaining {
+		b.remaining -= e
+		return 0
+	}
+	shortfall = e - b.remaining
+	b.remaining = 0
+	return shortfall
+}
+
+// Refill restores the battery to full capacity.
+func (b *Battery) Refill() { b.remaining = b.Capacity }
+
+// Pack models the paper's two-tier battery arrangement: a primary pack
+// that "can preserve the contents of main memory in an otherwise idle
+// system for many days", and a small lithium backup that covers "many
+// hours" — enough to swap primary batteries. Energy is drawn from the
+// primary until it is empty, then from the backup; when both are empty the
+// pack is dead and any DRAM it was sustaining loses its contents.
+type Pack struct {
+	Primary *Battery
+	Backup  *Battery
+}
+
+// WattHours converts watt-hours into sim.Energy (1 Wh = 3600 J).
+func WattHours(wh float64) sim.Energy {
+	return sim.Energy(wh * 3600 * float64(sim.Joule))
+}
+
+// NewPack builds a pack with the given primary and backup watt-hour
+// capacities. The defaults used across the experiments — 10 Wh primary,
+// 0.5 Wh lithium backup — combined with the NEC part's ~1 mW/MB
+// self-refresh draw reproduce the paper's day-scale and hour-scale
+// retention claims for a 16 MB machine.
+func NewPack(primaryWh, backupWh float64) *Pack {
+	return &Pack{
+		Primary: NewBattery("primary", WattHours(primaryWh)),
+		Backup:  NewBattery("lithium-backup", WattHours(backupWh)),
+	}
+}
+
+// Dead reports whether both batteries are exhausted.
+func (p *Pack) Dead() bool { return p.Primary.Empty() && p.Backup.Empty() }
+
+// OnBackup reports whether the primary is exhausted and the backup is
+// carrying the load.
+func (p *Pack) OnBackup() bool { return p.Primary.Empty() && !p.Backup.Empty() }
+
+// Drain draws e from the pack, primary first. It returns ErrBatteryDead if
+// the pack could not supply all of it, in which case the pack is dead.
+func (p *Pack) Drain(e sim.Energy) error {
+	short := p.Primary.drain(e)
+	if short == 0 {
+		return nil
+	}
+	if p.Backup.drain(short) == 0 {
+		return nil
+	}
+	return ErrBatteryDead
+}
+
+// DrainIdle draws the energy of holding a pMilliwatts load for d.
+func (p *Pack) DrainIdle(pMilliwatts float64, d sim.Duration) error {
+	return p.Drain(sim.EnergyFor(pMilliwatts, d))
+}
+
+// SwapPrimary replaces the primary batteries with fresh ones; the backup
+// keeps memory alive during the swap, exactly the scenario the paper
+// describes.
+func (p *Pack) SwapPrimary() { p.Primary.Refill() }
+
+// RetentionAt reports how long the pack can sustain a constant load of
+// pMilliwatts from its current state before dying.
+func (p *Pack) RetentionAt(pMilliwatts float64) sim.Duration {
+	if pMilliwatts <= 0 {
+		return sim.Duration(1<<63 - 1)
+	}
+	total := p.Primary.Remaining() + p.Backup.Remaining()
+	return sim.Duration(float64(total) / pMilliwatts)
+}

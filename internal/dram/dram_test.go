@@ -1,0 +1,286 @@
+package dram
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ssmobile/internal/device"
+	"ssmobile/internal/sim"
+)
+
+func newTestDevice(t *testing.T, capacity int64) (*Device, *sim.Clock, *sim.EnergyMeter) {
+	t.Helper()
+	clock := sim.NewClock()
+	meter := sim.NewEnergyMeter()
+	d, err := New(Config{CapacityBytes: capacity, Params: device.NECDram}, clock, meter)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d, clock, meter
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{CapacityBytes: 0, Params: device.NECDram}).Validate(); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if err := (Config{CapacityBytes: 1024, Params: device.IntelFlash}).Validate(); err == nil {
+		t.Error("flash params accepted for DRAM")
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	d, clock, meter := newTestDevice(t, 1<<20)
+	msg := []byte("primary storage")
+	before := clock.Now()
+	if _, err := d.Write(4096, msg); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() == before {
+		t.Fatal("write did not advance the clock")
+	}
+	got := make([]byte, len(msg))
+	if _, err := d.Read(4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q", got)
+	}
+	if meter.Category("dram") <= 0 {
+		t.Fatal("no energy charged")
+	}
+	s := d.Stats()
+	if s.Writes != 1 || s.Reads != 1 || s.BytesWritten != int64(len(msg)) {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestNoEraseNeeded(t *testing.T) {
+	d, _, _ := newTestDevice(t, 1<<16)
+	if _, err := d.Write(0, []byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting 0 with 1 bits is fine in DRAM — the flash limitation
+	// must not leak into the DRAM model.
+	if _, err := d.Write(0, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Peek(0) != 0xFF {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d, _, _ := newTestDevice(t, 1024)
+	if _, err := d.Read(1020, make([]byte, 8)); !errors.Is(err, ErrOutOfRange) {
+		t.Error("read past end accepted")
+	}
+	if _, err := d.Write(-1, []byte{1}); !errors.Is(err, ErrOutOfRange) {
+		t.Error("negative write accepted")
+	}
+}
+
+func TestDRAMFasterThanFlashParams(t *testing.T) {
+	d, _, _ := newTestDevice(t, 1<<20)
+	lat, err := d.Read(0, make([]byte, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flashLat := sim.Duration(device.IntelFlash.ReadLatencyNs(4096))
+	if lat >= flashLat {
+		t.Errorf("DRAM 4KB read %v not faster than flash %v", lat, flashLat)
+	}
+}
+
+func TestPowerFailDestroysContents(t *testing.T) {
+	d, _, _ := newTestDevice(t, 1024)
+	if _, err := d.Write(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerFail()
+	if !d.Lost() {
+		t.Fatal("device not marked lost")
+	}
+	if _, err := d.Read(0, make([]byte, 1)); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("read after power fail: %v", err)
+	}
+	if _, err := d.Write(0, []byte{9}); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("write after power fail: %v", err)
+	}
+	d.Restore()
+	if d.Lost() {
+		t.Fatal("restore did not clear lost flag")
+	}
+	buf := make([]byte, 3)
+	if _, err := d.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{0, 0, 0}) {
+		t.Fatal("contents survived a power failure")
+	}
+	if d.Stats().PowerFailures != 1 {
+		t.Fatal("power failure not counted")
+	}
+}
+
+func TestIdleMilliwattsScalesWithCapacity(t *testing.T) {
+	small, _, _ := newTestDevice(t, 1<<20)
+	big, _, _ := newTestDevice(t, 16<<20)
+	if big.IdleMilliwatts() != 16*small.IdleMilliwatts() {
+		t.Fatal("idle power should scale with capacity")
+	}
+}
+
+func TestChargeIdle(t *testing.T) {
+	d, clock, meter := newTestDevice(t, 1<<20)
+	clock.Advance(sim.Hour)
+	d.ChargeIdle()
+	idle := meter.Category("dram-idle")
+	if idle <= 0 {
+		t.Fatal("no idle energy charged")
+	}
+	// Charging again with no elapsed time adds nothing.
+	d.ChargeIdle()
+	if meter.Category("dram-idle") != idle {
+		t.Fatal("double idle charge")
+	}
+}
+
+func TestBatteryDrain(t *testing.T) {
+	b := NewBattery("b", 10*sim.Joule)
+	if b.Empty() {
+		t.Fatal("fresh battery empty")
+	}
+	if short := b.drain(4 * sim.Joule); short != 0 {
+		t.Fatal("drain within capacity reported shortfall")
+	}
+	if b.Remaining() != 6*sim.Joule {
+		t.Fatalf("remaining %v", b.Remaining())
+	}
+	if short := b.drain(10 * sim.Joule); short != 4*sim.Joule {
+		t.Fatalf("shortfall %v, want 4 J", short)
+	}
+	if !b.Empty() {
+		t.Fatal("battery should be empty")
+	}
+	b.Refill()
+	if b.Remaining() != 10*sim.Joule {
+		t.Fatal("refill failed")
+	}
+}
+
+func TestPackDrainsPrimaryThenBackup(t *testing.T) {
+	p := &Pack{
+		Primary: NewBattery("p", 10*sim.Joule),
+		Backup:  NewBattery("b", 5*sim.Joule),
+	}
+	if err := p.Drain(8 * sim.Joule); err != nil {
+		t.Fatal(err)
+	}
+	if p.Backup.Remaining() != 5*sim.Joule {
+		t.Fatal("backup drained while primary had charge")
+	}
+	if err := p.Drain(4 * sim.Joule); err != nil {
+		t.Fatal(err)
+	}
+	if !p.OnBackup() {
+		t.Fatal("pack should be on backup")
+	}
+	if p.Backup.Remaining() != 3*sim.Joule {
+		t.Fatalf("backup remaining %v, want 3 J", p.Backup.Remaining())
+	}
+	if err := p.Drain(10 * sim.Joule); !errors.Is(err, ErrBatteryDead) {
+		t.Fatalf("overdrain: %v, want ErrBatteryDead", err)
+	}
+	if !p.Dead() {
+		t.Fatal("pack should be dead")
+	}
+}
+
+func TestPackSwapPrimary(t *testing.T) {
+	p := NewPack(0.001, 0.001) // tiny pack
+	if err := p.Drain(p.Primary.Capacity); err != nil {
+		t.Fatal(err)
+	}
+	if !p.OnBackup() {
+		t.Fatal("should be on backup after primary drained")
+	}
+	p.SwapPrimary()
+	if p.OnBackup() || p.Dead() {
+		t.Fatal("swap did not restore primary")
+	}
+}
+
+// The paper's retention claims: with the NEC part's self-refresh draw, a
+// 16MB machine's primary batteries preserve memory for "many days" and the
+// lithium backup for "many hours".
+func TestPaperRetentionClaims(t *testing.T) {
+	d, _, _ := newTestDevice(t, 16<<20)
+	idle := d.IdleMilliwatts() // ~16 mW
+
+	primary := NewPack(10, 0) // 10 Wh primary only
+	days := primary.RetentionAt(idle).Seconds() / 86400
+	if days < 3 {
+		t.Errorf("primary retention %.1f days, paper says 'many days'", days)
+	}
+
+	backup := NewPack(0, 0.5) // 0.5 Wh lithium only
+	hours := backup.RetentionAt(idle).Seconds() / 3600
+	if hours < 3 {
+		t.Errorf("backup retention %.1f hours, paper says 'many hours'", hours)
+	}
+	if hours > 24*7 {
+		t.Errorf("backup retention %.1f hours is implausibly long for a lithium cell", hours)
+	}
+}
+
+func TestDrainIdleMatchesEnergyFor(t *testing.T) {
+	p := NewPack(1, 0)
+	before := p.Primary.Remaining()
+	if err := p.DrainIdle(100, sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.EnergyFor(100, sim.Hour)
+	if got := before - p.Primary.Remaining(); got != want {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+}
+
+func TestRetentionAtZeroLoad(t *testing.T) {
+	p := NewPack(1, 1)
+	if p.RetentionAt(0) <= 0 {
+		t.Fatal("zero load should give effectively infinite retention")
+	}
+}
+
+// Property: writes at arbitrary offsets are read back exactly (DRAM is a
+// plain byte array with latency).
+func TestDRAMReadYourWritesProperty(t *testing.T) {
+	const cap = 1 << 16
+	f := func(writes map[uint16]byte) bool {
+		d, err := New(Config{CapacityBytes: cap, Params: device.NECDram},
+			sim.NewClock(), sim.NewEnergyMeter())
+		if err != nil {
+			return false
+		}
+		for off, val := range writes {
+			if _, err := d.Write(int64(off), []byte{val}); err != nil {
+				return false
+			}
+		}
+		buf := make([]byte, 1)
+		for off, val := range writes {
+			if _, err := d.Read(int64(off), buf); err != nil {
+				return false
+			}
+			if buf[0] != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,501 @@
+// Package flash simulates a direct-mapped flash memory device of the kind
+// the paper expects to replace disks in mobile computers.
+//
+// The model captures every property the paper's operating-system arguments
+// rest on:
+//
+//   - byte-granularity random reads at near-DRAM speed;
+//   - programming (writing) roughly two orders of magnitude slower than
+//     reading, and only able to clear bits (1→0) — a region must be erased
+//     back to all-ones before it can be rewritten;
+//   - erasure in fixed-size blocks, slow, with a limited per-block
+//     endurance (the guaranteed 100,000 cycles), after which the block
+//     wears out;
+//   - organisation into independent banks: an erase or program occupies
+//     its bank, and reads to a busy bank stall until the bank is free,
+//     while reads to other banks proceed at full speed (the paper's
+//     motivation for partitioning flash into banks).
+//
+// Programs and erases can be issued synchronously (the caller's virtual
+// time advances past the operation) or asynchronously (the operation
+// occupies the bank in the background and only delays later operations
+// that touch the same bank), which is how a write-back daemon hides flash
+// write latency behind foreground reads.
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"ssmobile/internal/device"
+	"ssmobile/internal/sim"
+)
+
+// Sentinel errors.
+var (
+	// ErrOutOfRange reports an access beyond the end of the device.
+	ErrOutOfRange = errors.New("flash: address out of range")
+	// ErrOverwrite reports a program that would need to set a 0 bit back
+	// to 1, which only an erase can do.
+	ErrOverwrite = errors.New("flash: program would set bits without erase")
+	// ErrWornOut reports an erase on a block past its endurance limit.
+	ErrWornOut = errors.New("flash: block worn out")
+)
+
+// Config fixes the geometry and part parameters of a simulated device.
+type Config struct {
+	// Banks is the number of independently accessible banks. The device
+	// capacity is Banks × BlocksPerBank × BlockBytes.
+	Banks int
+	// BlocksPerBank is the number of erase blocks in each bank.
+	BlocksPerBank int
+	// BlockBytes is the size of the erase unit.
+	BlockBytes int
+	// Params supplies latency, energy and endurance figures; typically
+	// device.IntelFlash or device.SunDiskFlash.
+	Params device.Params
+	// MeterCategory is the energy-meter category charged; defaults to
+	// "flash".
+	MeterCategory string
+	// SpareUnitBytes and SpareBytes describe the out-of-band spare area:
+	// every SpareUnitBytes of main storage carries SpareBytes of spare,
+	// programmed with the same bit rules and erased together with its
+	// unit's block. Translation layers persist their page metadata there
+	// so the mapping can be rebuilt by scanning after a power loss. Zero
+	// SpareBytes disables the spare area.
+	SpareUnitBytes int
+	SpareBytes     int
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Banks <= 0 || c.BlocksPerBank <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("flash: non-positive geometry %d×%d×%d", c.Banks, c.BlocksPerBank, c.BlockBytes)
+	}
+	if c.Params.Class != device.Flash {
+		return fmt.Errorf("flash: params %q are %v, not flash", c.Params.Name, c.Params.Class)
+	}
+	if c.SpareBytes > 0 {
+		if c.SpareUnitBytes <= 0 || c.BlockBytes%c.SpareUnitBytes != 0 {
+			return fmt.Errorf("flash: spare unit %d must divide block size %d", c.SpareUnitBytes, c.BlockBytes)
+		}
+	}
+	return nil
+}
+
+// Capacity reports the device capacity in bytes.
+func (c Config) Capacity() int64 {
+	return int64(c.Banks) * int64(c.BlocksPerBank) * int64(c.BlockBytes)
+}
+
+// Stats aggregates the operation counts an experiment reads after a run.
+type Stats struct {
+	Reads, Programs, Erases      int64
+	BytesRead, BytesProgrammed   int64
+	ReadStallNs                  int64 // time reads spent waiting on busy banks
+	WornOutBlocks                int
+	MaxEraseCount, TotalEraseOps int64
+	EraseCountCoV                float64
+}
+
+// Device is one simulated flash part. It is not safe for concurrent use;
+// the simulation is single-threaded by design.
+type Device struct {
+	cfg   Config
+	clock *sim.Clock
+	meter *sim.EnergyMeter
+
+	data       []byte
+	spare      []byte // OOB area, SpareBytes per SpareUnitBytes of main
+	eraseCount []int64
+	wornOut    []bool
+	busyUntil  []sim.Time // per bank
+
+	reads, programs, erases sim.Counter
+	bytesRead, bytesProg    sim.Counter
+	readStallNs             sim.Counter
+	lastIdleCharge          sim.Time
+}
+
+// New builds a device with every block in the erased (all 0xFF) state.
+func New(cfg Config, clock *sim.Clock, meter *sim.EnergyMeter) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MeterCategory == "" {
+		cfg.MeterCategory = "flash"
+	}
+	d := &Device{
+		cfg:        cfg,
+		clock:      clock,
+		meter:      meter,
+		data:       make([]byte, cfg.Capacity()),
+		eraseCount: make([]int64, cfg.Banks*cfg.BlocksPerBank),
+		wornOut:    make([]bool, cfg.Banks*cfg.BlocksPerBank),
+		busyUntil:  make([]sim.Time, cfg.Banks),
+	}
+	for i := range d.data {
+		d.data[i] = 0xFF
+	}
+	if cfg.SpareBytes > 0 {
+		d.spare = make([]byte, cfg.Capacity()/int64(cfg.SpareUnitBytes)*int64(cfg.SpareBytes))
+		for i := range d.spare {
+			d.spare[i] = 0xFF
+		}
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Capacity reports the device capacity in bytes.
+func (d *Device) Capacity() int64 { return d.cfg.Capacity() }
+
+// NumBlocks reports the total number of erase blocks.
+func (d *Device) NumBlocks() int { return d.cfg.Banks * d.cfg.BlocksPerBank }
+
+// BlockBytes reports the erase-block size.
+func (d *Device) BlockBytes() int { return d.cfg.BlockBytes }
+
+// Banks reports the bank count.
+func (d *Device) Banks() int { return d.cfg.Banks }
+
+// BlockOf reports the erase block containing the byte address.
+func (d *Device) BlockOf(addr int64) int { return int(addr / int64(d.cfg.BlockBytes)) }
+
+// BankOf reports the bank containing the erase block.
+func (d *Device) BankOf(block int) int { return block / d.cfg.BlocksPerBank }
+
+// BlockAddr reports the first byte address of an erase block.
+func (d *Device) BlockAddr(block int) int64 { return int64(block) * int64(d.cfg.BlockBytes) }
+
+func (d *Device) checkRange(addr int64, n int) error {
+	if addr < 0 || n < 0 || addr+int64(n) > d.Capacity() {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, addr, addr+int64(n), d.Capacity())
+	}
+	return nil
+}
+
+// activePower reports the whole-part active draw in milliwatts.
+func (d *Device) activePower() float64 {
+	return d.cfg.Params.ActiveMilliwattsPerMB * float64(d.Capacity()) / (1 << 20)
+}
+
+// waitBank advances past any in-progress operation on the bank and reports
+// how long the caller stalled.
+func (d *Device) waitBank(bank int) sim.Duration {
+	now := d.clock.Now()
+	if d.busyUntil[bank] <= now {
+		return 0
+	}
+	stall := d.busyUntil[bank].Sub(now)
+	d.clock.AdvanceTo(d.busyUntil[bank])
+	return stall
+}
+
+// occupy queues dur of work on the bank: it starts when the bank frees up
+// (or now, if idle) and extends the bank's busy window by dur.
+func (d *Device) occupy(bank int, dur sim.Duration) {
+	start := d.clock.Now()
+	if d.busyUntil[bank] > start {
+		start = d.busyUntil[bank]
+	}
+	d.busyUntil[bank] = start.Add(dur)
+}
+
+// BankBusyUntil reports when the bank becomes free; in the past means idle.
+func (d *Device) BankBusyUntil(bank int) sim.Time { return d.busyUntil[bank] }
+
+// Read copies len(buf) bytes starting at addr into buf, advancing the
+// clock past any bank stalls and the transfer itself. It returns the total
+// latency charged.
+func (d *Device) Read(addr int64, buf []byte) (sim.Duration, error) {
+	if err := d.checkRange(addr, len(buf)); err != nil {
+		return 0, err
+	}
+	var total sim.Duration
+	// Process the range bank by bank so stalls charge only where due.
+	for len(buf) > 0 {
+		bank := d.BankOf(d.BlockOf(addr))
+		bankEnd := int64(bank+1) * int64(d.cfg.BlocksPerBank) * int64(d.cfg.BlockBytes)
+		n := len(buf)
+		if int64(n) > bankEnd-addr {
+			n = int(bankEnd - addr)
+		}
+		stall := d.waitBank(bank)
+		d.readStallNs.Add(int64(stall))
+		dur := sim.Duration(d.cfg.Params.ReadLatencyNs(n))
+		d.clock.Advance(dur)
+		d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
+		copy(buf[:n], d.data[addr:addr+int64(n)])
+		total += stall + dur
+		addr += int64(n)
+		buf = buf[n:]
+		d.reads.Inc()
+		d.bytesRead.Add(int64(n))
+	}
+	return total, nil
+}
+
+// Peek returns the byte at addr without charging latency; tests and
+// integrity checks use it.
+func (d *Device) Peek(addr int64) byte { return d.data[addr] }
+
+// SpareUnits reports the number of spare-area units (0 when disabled).
+func (d *Device) SpareUnits() int64 {
+	if d.cfg.SpareBytes == 0 {
+		return 0
+	}
+	return d.Capacity() / int64(d.cfg.SpareUnitBytes)
+}
+
+// SpareBytes reports the spare size per unit.
+func (d *Device) SpareBytes() int { return d.cfg.SpareBytes }
+
+func (d *Device) checkSpare(unit int64) error {
+	if d.cfg.SpareBytes == 0 {
+		return fmt.Errorf("flash: device has no spare area")
+	}
+	if unit < 0 || unit >= d.SpareUnits() {
+		return fmt.Errorf("%w: spare unit %d of %d", ErrOutOfRange, unit, d.SpareUnits())
+	}
+	return nil
+}
+
+// ReadSpare copies the unit's spare area into buf (at most SpareBytes),
+// charging the read like any other access on the unit's bank.
+func (d *Device) ReadSpare(unit int64, buf []byte) (sim.Duration, error) {
+	if err := d.checkSpare(unit); err != nil {
+		return 0, err
+	}
+	if len(buf) > d.cfg.SpareBytes {
+		buf = buf[:d.cfg.SpareBytes]
+	}
+	bank := d.BankOf(d.BlockOf(unit * int64(d.cfg.SpareUnitBytes)))
+	stall := d.waitBank(bank)
+	d.readStallNs.Add(int64(stall))
+	dur := sim.Duration(d.cfg.Params.ReadLatencyNs(len(buf)))
+	d.clock.Advance(dur)
+	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
+	copy(buf, d.spare[unit*int64(d.cfg.SpareBytes):])
+	d.reads.Inc()
+	d.bytesRead.Add(int64(len(buf)))
+	return stall + dur, nil
+}
+
+// ProgramSpare writes p into the unit's spare area under the usual
+// bit-clearing rule, synchronously.
+func (d *Device) ProgramSpare(unit int64, p []byte) (sim.Duration, error) {
+	if err := d.checkSpare(unit); err != nil {
+		return 0, err
+	}
+	if len(p) > d.cfg.SpareBytes {
+		return 0, fmt.Errorf("%w: spare write of %d exceeds %d", ErrOutOfRange, len(p), d.cfg.SpareBytes)
+	}
+	base := unit * int64(d.cfg.SpareBytes)
+	for i, b := range p {
+		old := d.spare[base+int64(i)]
+		if ^old&b != 0 {
+			return 0, fmt.Errorf("%w: spare unit %d byte %d old %02x new %02x", ErrOverwrite, unit, i, old, b)
+		}
+	}
+	bank := d.BankOf(d.BlockOf(unit * int64(d.cfg.SpareUnitBytes)))
+	stall := d.waitBank(bank)
+	copy(d.spare[base:], p)
+	dur := sim.Duration(d.cfg.Params.WriteLatencyNs(len(p)))
+	d.clock.Advance(dur)
+	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
+	d.programs.Inc()
+	d.bytesProg.Add(int64(len(p)))
+	return stall + dur, nil
+}
+
+// PeekSpare returns the unit's spare contents without charging latency.
+func (d *Device) PeekSpare(unit int64) []byte {
+	if d.cfg.SpareBytes == 0 {
+		return nil
+	}
+	out := make([]byte, d.cfg.SpareBytes)
+	copy(out, d.spare[unit*int64(d.cfg.SpareBytes):])
+	return out
+}
+
+// program validates and applies a program operation, returning its duration.
+func (d *Device) program(addr int64, p []byte) (sim.Duration, error) {
+	if err := d.checkRange(addr, len(p)); err != nil {
+		return 0, err
+	}
+	// Flash programming can only clear bits. Enforce it bit-exactly.
+	for i, b := range p {
+		old := d.data[addr+int64(i)]
+		if ^old&b != 0 {
+			return 0, fmt.Errorf("%w: addr %d old %02x new %02x", ErrOverwrite, addr+int64(i), old, b)
+		}
+	}
+	copy(d.data[addr:], p)
+	d.programs.Inc()
+	d.bytesProg.Add(int64(len(p)))
+	dur := sim.Duration(d.cfg.Params.WriteLatencyNs(len(p)))
+	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
+	return dur, nil
+}
+
+// Program writes p at addr synchronously: the caller's time advances past
+// any bank stall plus the program time. The target region must be erased
+// (or the write must only clear bits). Programs may not span banks.
+func (d *Device) Program(addr int64, p []byte) (sim.Duration, error) {
+	if err := d.checkSameBank(addr, len(p)); err != nil {
+		return 0, err
+	}
+	bank := d.BankOf(d.BlockOf(addr))
+	stall := d.waitBank(bank)
+	dur, err := d.program(addr, p)
+	if err != nil {
+		return stall, err
+	}
+	d.clock.Advance(dur)
+	return stall + dur, nil
+}
+
+// ProgramAsync posts a program: the data is applied immediately in the
+// model, the bank is occupied for the stall-plus-program window, and the
+// caller's clock does not advance. Later operations on the same bank wait.
+func (d *Device) ProgramAsync(addr int64, p []byte) error {
+	if err := d.checkSameBank(addr, len(p)); err != nil {
+		return err
+	}
+	bank := d.BankOf(d.BlockOf(addr))
+	dur, err := d.program(addr, p)
+	if err != nil {
+		return err
+	}
+	d.occupy(bank, dur)
+	return nil
+}
+
+func (d *Device) checkSameBank(addr int64, n int) error {
+	if err := d.checkRange(addr, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	first := d.BankOf(d.BlockOf(addr))
+	last := d.BankOf(d.BlockOf(addr + int64(n) - 1))
+	if first != last {
+		return fmt.Errorf("flash: program spans banks %d..%d", first, last)
+	}
+	return nil
+}
+
+// erase validates and applies an erase, returning its duration.
+func (d *Device) erase(block int) (sim.Duration, error) {
+	if block < 0 || block >= d.NumBlocks() {
+		return 0, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, block, d.NumBlocks())
+	}
+	if d.wornOut[block] {
+		return 0, fmt.Errorf("%w: block %d after %d cycles", ErrWornOut, block, d.eraseCount[block])
+	}
+	d.eraseCount[block]++
+	if lim := d.cfg.Params.EnduranceCycles; lim > 0 && d.eraseCount[block] >= lim {
+		// The guaranteed cycle count is exhausted; this erase still
+		// succeeds, further ones fail.
+		d.wornOut[block] = true
+	}
+	start := d.BlockAddr(block)
+	for i := int64(0); i < int64(d.cfg.BlockBytes); i++ {
+		d.data[start+i] = 0xFF
+	}
+	if d.cfg.SpareBytes > 0 {
+		unitsPerBlock := int64(d.cfg.BlockBytes / d.cfg.SpareUnitBytes)
+		sb := int64(d.cfg.SpareBytes)
+		first := start / int64(d.cfg.SpareUnitBytes) * sb
+		for i := int64(0); i < unitsPerBlock*sb; i++ {
+			d.spare[first+i] = 0xFF
+		}
+	}
+	d.erases.Inc()
+	dur := sim.Duration(d.cfg.Params.EraseLatencyNs)
+	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
+	return dur, nil
+}
+
+// Erase erases a block synchronously, advancing the caller's clock.
+func (d *Device) Erase(block int) (sim.Duration, error) {
+	if block < 0 || block >= d.NumBlocks() {
+		return 0, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, block, d.NumBlocks())
+	}
+	bank := d.BankOf(block)
+	stall := d.waitBank(bank)
+	dur, err := d.erase(block)
+	if err != nil {
+		return stall, err
+	}
+	d.clock.Advance(dur)
+	return stall + dur, nil
+}
+
+// EraseAsync starts an erase in the background: the block's contents are
+// reset in the model, the bank is occupied until the erase would finish,
+// and the caller's clock does not advance. This is how a cleaner erases
+// reclaimed blocks without stalling the foreground.
+func (d *Device) EraseAsync(block int) error {
+	if block < 0 || block >= d.NumBlocks() {
+		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, block, d.NumBlocks())
+	}
+	bank := d.BankOf(block)
+	dur, err := d.erase(block)
+	if err != nil {
+		return err
+	}
+	d.occupy(bank, dur)
+	return nil
+}
+
+// WornOut reports whether the block has exceeded its endurance.
+func (d *Device) WornOut(block int) bool { return d.wornOut[block] }
+
+// EraseCount reports the number of erases the block has sustained.
+func (d *Device) EraseCount(block int) int64 { return d.eraseCount[block] }
+
+// EraseCounts returns a copy of the per-block erase counters.
+func (d *Device) EraseCounts() []int64 {
+	out := make([]int64, len(d.eraseCount))
+	copy(out, d.eraseCount)
+	return out
+}
+
+// ChargeIdle charges standby power for the span since the last idle charge
+// (or the epoch). The driving layer calls it at the end of a run.
+func (d *Device) ChargeIdle() {
+	now := d.clock.Now()
+	if now <= d.lastIdleCharge {
+		return
+	}
+	idle := d.cfg.Params.IdleMilliwattsPerMB * float64(d.Capacity()) / (1 << 20)
+	d.meter.Charge(d.cfg.MeterCategory+"-idle", sim.EnergyFor(idle, now.Sub(d.lastIdleCharge)))
+	d.lastIdleCharge = now
+}
+
+// Stats summarises the device counters.
+func (d *Device) Stats() Stats {
+	worn := 0
+	for _, w := range d.wornOut {
+		if w {
+			worn++
+		}
+	}
+	return Stats{
+		Reads:           d.reads.Value(),
+		Programs:        d.programs.Value(),
+		Erases:          d.erases.Value(),
+		BytesRead:       d.bytesRead.Value(),
+		BytesProgrammed: d.bytesProg.Value(),
+		ReadStallNs:     d.readStallNs.Value(),
+		WornOutBlocks:   worn,
+		MaxEraseCount:   sim.MaxInt64(d.eraseCount),
+		TotalEraseOps:   d.erases.Value(),
+		EraseCountCoV:   sim.CoV(d.eraseCount),
+	}
+}

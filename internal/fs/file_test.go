@@ -1,0 +1,187 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestOpenValidation(t *testing.T) {
+	r := newFS(t)
+	if _, err := r.fs.Open("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if err := r.fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.fs.Open("/d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir: %v", err)
+	}
+}
+
+func TestFileReadWriteCursor(t *testing.T) {
+	r := newFS(t)
+	h, err := r.fs.OpenFile("/cursor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("read %q", got)
+	}
+	if size, _ := h.Size(); size != 11 {
+		t.Fatalf("size %d", size)
+	}
+}
+
+func TestFileSeekWhence(t *testing.T) {
+	r := newFS(t)
+	h, err := r.fs.OpenFile("/seek")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if pos, _ := h.Seek(-3, io.SeekEnd); pos != 7 {
+		t.Fatalf("SeekEnd pos %d", pos)
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(h, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "789" {
+		t.Fatalf("tail %q", buf)
+	}
+	if pos, _ := h.Seek(-1, io.SeekCurrent); pos != 9 {
+		t.Fatalf("SeekCurrent pos %d", pos)
+	}
+	if _, err := h.Seek(-100, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := h.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+}
+
+func TestFileReadAtWriteAt(t *testing.T) {
+	r := newFS(t)
+	h, err := r.fs.OpenFile("/ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt([]byte("XY"), 2); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := h.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abXYef" {
+		t.Fatalf("got %q", buf)
+	}
+	// Short ReadAt returns io.EOF like os.File.
+	big := make([]byte, 10)
+	n, err := h.ReadAt(big, 0)
+	if n != 6 || !errors.Is(err, io.EOF) {
+		t.Fatalf("short ReadAt n=%d err=%v", n, err)
+	}
+}
+
+func TestFileEOF(t *testing.T) {
+	r := newFS(t)
+	h, err := r.fs.OpenFile("/eof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := h.Read(buf)
+	if n != 1 || err != nil {
+		t.Fatalf("first read n=%d err=%v", n, err)
+	}
+	if _, err := h.Read(buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("at EOF: %v", err)
+	}
+}
+
+func TestFileClosed(t *testing.T) {
+	r := newFS(t)
+	h, err := r.fs.OpenFile("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatal("double close not reported")
+	}
+	if _, err := h.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatal("read after close accepted")
+	}
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestFileSyncMigratesOnlyThatFile(t *testing.T) {
+	r := newFS(t)
+	a, err := r.fs.OpenFile("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(bytes.Repeat([]byte{1}, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.fs.WriteFile("/b", bytes.Repeat([]byte{2}, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	flushedA := r.sm.Stats().FlushedBytes
+	if flushedA < 8192 {
+		t.Fatalf("fsync flushed only %d bytes", flushedA)
+	}
+	if flushedA >= 16384 {
+		t.Fatal("fsync flushed unrelated files")
+	}
+}
+
+func TestFileWorksWithStdlibHelpers(t *testing.T) {
+	r := newFS(t)
+	h, err := r.fs.OpenFile("/copyto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bytes.NewBufferString("streamed through io.Copy")
+	if _, err := io.Copy(h, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.fs.ReadFile("/copyto")
+	if err != nil || string(got) != "streamed through io.Copy" {
+		t.Fatalf("%q %v", got, err)
+	}
+}

@@ -1,0 +1,582 @@
+// Package fs implements the memory-resident file system of the paper's
+// §3.1.
+//
+// Because every byte of storage is directly addressable at memory speed,
+// the file system drops the machinery disks made necessary:
+//
+//   - no block clustering or seek-aware layout — blocks are wherever the
+//     physical storage manager put them;
+//   - no multi-level indirect blocks — a file's blocks are found by a
+//     direct (inode, block-index) lookup;
+//   - no file buffer cache — data is read in place from DRAM or flash.
+//
+// Metadata lives in battery-backed DRAM and is protected the way the
+// paper suggests (citing the Recovery Box work): a reserved, checksummed
+// DRAM region holds a metadata snapshot plus a journal of mutations since
+// the snapshot. An operating-system crash cannot hurt it — battery-backed
+// DRAM survives crashes — and recovery is a snapshot load plus journal
+// replay. Against power failures (which do destroy DRAM), the file system
+// checkpoints metadata to flash through the storage manager; data loss is
+// then bounded by what the write-back policy had not yet migrated.
+//
+// File data goes through storman.Manager, which decides DRAM versus flash
+// placement, absorbs overwrites and short-lived files in DRAM, and
+// copy-on-writes flash-resident blocks. Memory-mapped files are served in
+// place through a vm.ExternalPager.
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ssmobile/internal/dram"
+	"ssmobile/internal/sim"
+	"ssmobile/internal/storman"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotExist reports a missing path component.
+	ErrNotExist = errors.New("fs: no such file or directory")
+	// ErrExist reports a create over an existing name.
+	ErrExist = errors.New("fs: file exists")
+	// ErrNotDir reports a non-directory used as one.
+	ErrNotDir = errors.New("fs: not a directory")
+	// ErrIsDir reports a file operation on a directory.
+	ErrIsDir = errors.New("fs: is a directory")
+	// ErrNotEmpty reports removal of a non-empty directory.
+	ErrNotEmpty = errors.New("fs: directory not empty")
+	// ErrBadPath reports a malformed path.
+	ErrBadPath = errors.New("fs: bad path")
+	// ErrRBoxFull reports that metadata outgrew the recovery-box region.
+	ErrRBoxFull = errors.New("fs: recovery box full")
+)
+
+// Kind distinguishes files from directories.
+type Kind uint8
+
+// Inode kinds.
+const (
+	KindFile Kind = iota
+	KindDir
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == KindDir {
+		return "dir"
+	}
+	return "file"
+}
+
+// RootIno is the root directory's inode number. Object 0 in the storage
+// manager is reserved for the metadata checkpoint.
+const RootIno uint64 = 1
+
+const metaObject uint64 = 0
+
+// Inode is the on-"disk" metadata of one file or directory. All fields
+// are exported for serialisation.
+type Inode struct {
+	Ino     uint64
+	Kind    Kind
+	Size    int64
+	Nlink   int
+	MtimeNs int64
+	Entries map[string]uint64 // directories only
+}
+
+// Info is the result of Stat and ReadDir.
+type Info struct {
+	Name  string
+	Ino   uint64
+	Kind  Kind
+	Size  int64
+	Nlink int
+	Mtime sim.Time
+}
+
+// Config parameterises the file system.
+type Config struct {
+	// RBoxBase and RBoxBytes delimit the recovery-box region in the DRAM
+	// device. Zero bytes disables the recovery box (no crash protection).
+	RBoxBase  int64
+	RBoxBytes int64
+	// SnapshotEvery forces a fresh recovery-box snapshot after this many
+	// journal records; the journal is also compacted into a snapshot when
+	// its region fills. Default 512.
+	SnapshotEvery int
+}
+
+// FS is the memory-resident file system. Not safe for concurrent use.
+type FS struct {
+	cfg   Config
+	clock *sim.Clock
+	sm    *storman.Manager
+	dram  *dram.Device
+
+	nextIno uint64
+	inodes  map[uint64]*Inode
+
+	rbox *rbox
+
+	metaCheckpointBlocks int64 // blocks object 0 held at last checkpoint
+}
+
+// Mkfs creates an empty file system on the storage manager, with its
+// recovery box in the given DRAM region.
+func Mkfs(cfg Config, clock *sim.Clock, sm *storman.Manager, dramDev *dram.Device) (*FS, error) {
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 512
+	}
+	f := &FS{
+		cfg:     cfg,
+		clock:   clock,
+		sm:      sm,
+		dram:    dramDev,
+		nextIno: RootIno + 1,
+		inodes:  make(map[uint64]*Inode),
+	}
+	if cfg.RBoxBytes > 0 {
+		rb, err := newRBox(cfg, clock, dramDev)
+		if err != nil {
+			return nil, err
+		}
+		f.rbox = rb
+	}
+	f.inodes[RootIno] = &Inode{Ino: RootIno, Kind: KindDir, Nlink: 1, Entries: make(map[string]uint64)}
+	if f.rbox != nil {
+		if err := f.rbox.snapshot(f.snapshotState()); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// BlockBytes reports the file system block size.
+func (f *FS) BlockBytes() int { return f.sm.BlockBytes() }
+
+// Manager exposes the underlying storage manager (for experiments).
+func (f *FS) Manager() *storman.Manager { return f.sm }
+
+// splitPath validates and splits an absolute path into components.
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: %q must be absolute", ErrBadPath, path)
+	}
+	var parts []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			return nil, fmt.Errorf("%w: %q may not contain ..", ErrBadPath, path)
+		default:
+			parts = append(parts, c)
+		}
+	}
+	return parts, nil
+}
+
+// resolve walks the path to an inode.
+func (f *FS) resolve(path string) (*Inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := f.inodes[RootIno]
+	for _, name := range parts {
+		if cur.Kind != KindDir {
+			return nil, fmt.Errorf("%w: %q", ErrNotDir, path)
+		}
+		ino, ok := cur.Entries[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotExist, path)
+		}
+		cur = f.inodes[ino]
+		if cur == nil {
+			return nil, fmt.Errorf("fs: dangling entry %q in %q", name, path)
+		}
+	}
+	return cur, nil
+}
+
+// resolveParent walks to the parent directory of path and returns it with
+// the leaf name.
+func (f *FS) resolveParent(path string) (*Inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%w: %q has no parent", ErrBadPath, path)
+	}
+	cur := f.inodes[RootIno]
+	for _, name := range parts[:len(parts)-1] {
+		if cur.Kind != KindDir {
+			return nil, "", fmt.Errorf("%w: %q", ErrNotDir, path)
+		}
+		ino, ok := cur.Entries[name]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %q", ErrNotExist, path)
+		}
+		cur = f.inodes[ino]
+	}
+	if cur.Kind != KindDir {
+		return nil, "", fmt.Errorf("%w: %q", ErrNotDir, path)
+	}
+	return cur, parts[len(parts)-1], nil
+}
+
+func (f *FS) now() sim.Time { return f.clock.Now() }
+
+// create makes a new inode under the parent.
+func (f *FS) create(path string, kind Kind) (*Inode, error) {
+	parent, leaf, err := f.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := parent.Entries[leaf]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExist, path)
+	}
+	ino := f.nextIno
+	f.nextIno++
+	node := &Inode{Ino: ino, Kind: kind, Nlink: 1, MtimeNs: int64(f.now())}
+	if kind == KindDir {
+		node.Entries = make(map[string]uint64)
+	}
+	f.inodes[ino] = node
+	parent.Entries[leaf] = ino
+	parent.MtimeNs = int64(f.now())
+	if err := f.journal(recCreate, ino, parent.Ino, uint64(kind), leaf, ""); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// Create makes an empty file.
+func (f *FS) Create(path string) error {
+	_, err := f.create(path, KindFile)
+	return err
+}
+
+// Mkdir makes an empty directory.
+func (f *FS) Mkdir(path string) error {
+	_, err := f.create(path, KindDir)
+	return err
+}
+
+// MkdirAll makes the directory and any missing parents.
+func (f *FS) MkdirAll(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := "/"
+	for _, p := range parts {
+		cur = joinPath(cur, p)
+		if err := f.Mkdir(cur); err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// Stat describes the object at path.
+func (f *FS) Stat(path string) (Info, error) {
+	node, err := f.resolve(path)
+	if err != nil {
+		return Info{}, err
+	}
+	name := "/"
+	if parts, _ := splitPath(path); len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return Info{Name: name, Ino: node.Ino, Kind: node.Kind, Size: node.Size, Nlink: node.Nlink, Mtime: sim.Time(node.MtimeNs)}, nil
+}
+
+// ReadDir lists a directory in name order.
+func (f *FS) ReadDir(path string) ([]Info, error) {
+	node, err := f.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if node.Kind != KindDir {
+		return nil, fmt.Errorf("%w: %q", ErrNotDir, path)
+	}
+	names := make([]string, 0, len(node.Entries))
+	for name := range node.Entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Info, 0, len(names))
+	for _, name := range names {
+		child := f.inodes[node.Entries[name]]
+		out = append(out, Info{Name: name, Ino: child.Ino, Kind: child.Kind, Size: child.Size, Nlink: child.Nlink, Mtime: sim.Time(child.MtimeNs)})
+	}
+	return out, nil
+}
+
+// WriteAt writes data into the file at off, extending it as needed.
+func (f *FS) WriteAt(path string, off int64, data []byte) (int, error) {
+	node, err := f.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	if node.Kind != KindFile {
+		return 0, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset", ErrBadPath)
+	}
+	bs := int64(f.BlockBytes())
+	written := 0
+	for written < len(data) {
+		blk := (off + int64(written)) / bs
+		blkOff := int((off + int64(written)) % bs)
+		n := int(bs) - blkOff
+		if n > len(data)-written {
+			n = len(data) - written
+		}
+		key := storman.Key{Object: node.Ino, Block: blk}
+		if blkOff == 0 && n == int(bs) {
+			// Whole-block write: no read-modify-write needed.
+			if err := f.sm.WriteBlock(key, data[written:written+n]); err != nil {
+				return written, err
+			}
+		} else {
+			// Assemble the block: existing contents, zero-extended to
+			// cover the write, then the new bytes.
+			buf := make([]byte, int(bs))
+			got, err := f.sm.ReadBlock(key, buf)
+			if err != nil {
+				return written, err
+			}
+			end := blkOff + n
+			if got > end {
+				end = got
+			}
+			copy(buf[blkOff:], data[written:written+n])
+			if err := f.sm.WriteBlock(key, buf[:end]); err != nil {
+				return written, err
+			}
+		}
+		written += n
+	}
+	if end := off + int64(len(data)); end > node.Size {
+		node.Size = end
+	}
+	node.MtimeNs = int64(f.now())
+	if err := f.journal(recSetSize, node.Ino, uint64(node.Size), uint64(node.MtimeNs), "", ""); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// Append writes data at the end of the file.
+func (f *FS) Append(path string, data []byte) (int, error) {
+	node, err := f.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	return f.WriteAt(path, node.Size, data)
+}
+
+// ReadAt reads up to len(buf) bytes from off; it returns the count read,
+// which is short at end of file.
+func (f *FS) ReadAt(path string, off int64, buf []byte) (int, error) {
+	node, err := f.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	if node.Kind != KindFile {
+		return 0, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset", ErrBadPath)
+	}
+	if off >= node.Size {
+		return 0, nil
+	}
+	want := int64(len(buf))
+	if off+want > node.Size {
+		want = node.Size - off
+	}
+	bs := int64(f.BlockBytes())
+	read := int64(0)
+	block := make([]byte, int(bs))
+	for read < want {
+		blk := (off + read) / bs
+		blkOff := int((off + read) % bs)
+		n := int(bs) - blkOff
+		if int64(n) > want-read {
+			n = int(want - read)
+		}
+		got, err := f.sm.ReadBlock(storman.Key{Object: node.Ino, Block: blk}, block)
+		if err != nil {
+			return int(read), err
+		}
+		// Zero-fill holes and short blocks.
+		for i := got; i < blkOff+n; i++ {
+			block[i] = 0
+		}
+		copy(buf[read:read+int64(n)], block[blkOff:blkOff+n])
+		read += int64(n)
+	}
+	return int(read), nil
+}
+
+// ReadFile reads the whole file.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	node, err := f.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if node.Kind != KindFile {
+		return nil, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	buf := make([]byte, node.Size)
+	n, err := f.ReadAt(path, 0, buf)
+	return buf[:n], err
+}
+
+// WriteFile replaces the file's contents (creating it if absent).
+func (f *FS) WriteFile(path string, data []byte) error {
+	if _, err := f.resolve(path); errors.Is(err, ErrNotExist) {
+		if err := f.Create(path); err != nil {
+			return err
+		}
+	} else if err != nil {
+		return err
+	}
+	if err := f.Truncate(path, 0); err != nil {
+		return err
+	}
+	_, err := f.WriteAt(path, 0, data)
+	return err
+}
+
+// Truncate sets the file's size, dropping blocks past the new end.
+func (f *FS) Truncate(path string, size int64) error {
+	node, err := f.resolve(path)
+	if err != nil {
+		return err
+	}
+	if node.Kind != KindFile {
+		return fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	if size < 0 {
+		return fmt.Errorf("%w: negative size", ErrBadPath)
+	}
+	if size < node.Size {
+		bs := int64(f.BlockBytes())
+		firstDead := (size + bs - 1) / bs
+		lastOld := (node.Size - 1) / bs
+		for blk := firstDead; blk <= lastOld; blk++ {
+			if err := f.sm.DeleteBlock(storman.Key{Object: node.Ino, Block: blk}); err != nil {
+				return err
+			}
+		}
+		if size%bs != 0 {
+			if err := f.sm.TruncateBlock(storman.Key{Object: node.Ino, Block: size / bs}, int(size%bs)); err != nil {
+				return err
+			}
+		}
+	}
+	node.Size = size
+	node.MtimeNs = int64(f.now())
+	return f.journal(recSetSize, node.Ino, uint64(node.Size), uint64(node.MtimeNs), "", "")
+}
+
+// Link creates a hard link: newPath names the same inode as oldPath,
+// which must be a file. Data is freed only when the last link goes.
+func (f *FS) Link(oldPath, newPath string) error {
+	node, err := f.resolve(oldPath)
+	if err != nil {
+		return err
+	}
+	if node.Kind != KindFile {
+		return fmt.Errorf("%w: %q", ErrIsDir, oldPath)
+	}
+	parent, leaf, err := f.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if _, exists := parent.Entries[leaf]; exists {
+		return fmt.Errorf("%w: %q", ErrExist, newPath)
+	}
+	parent.Entries[leaf] = node.Ino
+	node.Nlink++
+	parent.MtimeNs = int64(f.now())
+	return f.journal(recLink, node.Ino, parent.Ino, 0, leaf, "")
+}
+
+// Remove deletes a name: a file link (the inode and data go when the
+// last link is removed) or an empty directory.
+func (f *FS) Remove(path string) error {
+	parent, leaf, err := f.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	ino, ok := parent.Entries[leaf]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotExist, path)
+	}
+	node := f.inodes[ino]
+	if node.Kind == KindDir && len(node.Entries) > 0 {
+		return fmt.Errorf("%w: %q", ErrNotEmpty, path)
+	}
+	node.Nlink--
+	delete(parent.Entries, leaf)
+	if node.Nlink <= 0 {
+		if node.Kind == KindFile {
+			if err := f.sm.DeleteObject(ino); err != nil {
+				return err
+			}
+		}
+		delete(f.inodes, ino)
+	}
+	parent.MtimeNs = int64(f.now())
+	return f.journal(recRemove, ino, parent.Ino, 0, leaf, "")
+}
+
+// Rename moves a file or directory to a new path, which must not exist.
+func (f *FS) Rename(oldPath, newPath string) error {
+	oldParent, oldLeaf, err := f.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	ino, ok := oldParent.Entries[oldLeaf]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotExist, oldPath)
+	}
+	newParent, newLeaf, err := f.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if _, exists := newParent.Entries[newLeaf]; exists {
+		return fmt.Errorf("%w: %q", ErrExist, newPath)
+	}
+	delete(oldParent.Entries, oldLeaf)
+	newParent.Entries[newLeaf] = ino
+	now := int64(f.now())
+	oldParent.MtimeNs, newParent.MtimeNs = now, now
+	return f.journal(recRename, ino, oldParent.Ino, newParent.Ino, oldLeaf, newLeaf)
+}
+
+// Exists reports whether the path resolves.
+func (f *FS) Exists(path string) bool {
+	_, err := f.resolve(path)
+	return err == nil
+}
+
+// NumInodes reports the live inode count (including the root).
+func (f *FS) NumInodes() int { return len(f.inodes) }

@@ -1,0 +1,111 @@
+package fs
+
+import (
+	"fmt"
+
+	"ssmobile/internal/storman"
+	"ssmobile/internal/vm"
+)
+
+// filePager serves a file's blocks to the VM. Reads go through the
+// storage manager, so flash-resident blocks are charged flash reads in
+// place and DRAM-resident blocks DRAM reads — "files in flash memory can
+// be mapped directly into the address spaces of interested processes
+// without having to make a copy in primary storage" (paper §3.1).
+type filePager struct {
+	fs   *FS
+	ino  uint64
+	size int64 // size at map time; later growth is not visible
+}
+
+// ReadPage implements vm.ExternalPager.
+func (p *filePager) ReadPage(idx int64, buf []byte) error {
+	for i := range buf {
+		buf[i] = 0
+	}
+	bs := int64(p.fs.BlockBytes())
+	if idx*bs >= p.size {
+		return nil // zero page past EOF
+	}
+	n, err := p.fs.sm.ReadBlock(storman.Key{Object: p.ino, Block: idx}, buf)
+	if err != nil {
+		return err
+	}
+	// Clamp to the file size within the final block.
+	if remain := p.size - idx*bs; int64(n) > remain {
+		for i := remain; i < int64(n); i++ {
+			buf[i] = 0
+		}
+	}
+	return nil
+}
+
+// WritePage implements vm.ExternalWriter for shared mappings: the page's
+// bytes (clamped to the file size at map time) go back through the
+// storage manager, landing in battery-backed DRAM like any other write.
+func (p *filePager) WritePage(idx int64, data []byte) error {
+	bs := int64(p.fs.BlockBytes())
+	n := int64(len(data))
+	if remain := p.size - idx*bs; remain < n {
+		n = remain
+	}
+	if n <= 0 {
+		return nil
+	}
+	return p.fs.sm.WriteBlock(storman.Key{Object: p.ino, Block: idx}, data[:n])
+}
+
+// MapFile maps the file at path into the address space at addr. The
+// mapping covers the file rounded up to whole pages (past-EOF bytes read
+// as zero) and is private: with PermWrite, the first write to a page
+// copies it into an anonymous DRAM frame (copy-on-write) and changes do
+// not propagate back to the file. It returns the mapped length.
+func (f *FS) MapFile(v *vm.VM, s *vm.Space, addr uint64, path string, perm vm.Perm) (int, error) {
+	node, err := f.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	if node.Kind != KindFile {
+		return 0, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	if f.BlockBytes() != v.PageBytes() {
+		return 0, fmt.Errorf("fs: block size %d != vm page size %d", f.BlockBytes(), v.PageBytes())
+	}
+	pb := int64(v.PageBytes())
+	length := int((node.Size + pb - 1) / pb * pb)
+	if length == 0 {
+		length = int(pb)
+	}
+	pager := &filePager{fs: f, ino: node.Ino, size: node.Size}
+	if err := v.MapExternal(s, addr, pager, 0, length, perm); err != nil {
+		return 0, err
+	}
+	return length, nil
+}
+
+// MapFileShared maps the file like MapFile but as a shared mapping:
+// writes to the mapping are pushed back into the file by vm.Msync (or
+// unmap), within the file's size at map time. This is the full
+// memory-mapped file interface of §3.1.
+func (f *FS) MapFileShared(v *vm.VM, s *vm.Space, addr uint64, path string, perm vm.Perm) (int, error) {
+	node, err := f.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	if node.Kind != KindFile {
+		return 0, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	if f.BlockBytes() != v.PageBytes() {
+		return 0, fmt.Errorf("fs: block size %d != vm page size %d", f.BlockBytes(), v.PageBytes())
+	}
+	pb := int64(v.PageBytes())
+	length := int((node.Size + pb - 1) / pb * pb)
+	if length == 0 {
+		length = int(pb)
+	}
+	pager := &filePager{fs: f, ino: node.Ino, size: node.Size}
+	if err := v.MapExternalShared(s, addr, pager, 0, length, perm); err != nil {
+		return 0, err
+	}
+	return length, nil
+}

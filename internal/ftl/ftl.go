@@ -1,0 +1,794 @@
+// Package ftl implements the flash storage layer of the paper's physical
+// storage manager: the machinery that hides flash's erase-before-write
+// behaviour and spreads wear evenly, using "garbage collection techniques
+// like those used in log-structured file systems" (paper §3.3).
+//
+// Four policies are provided, from the naive baseline up to the paper's
+// prescription, so the wear-leveling experiment can compare them:
+//
+//   - PolicyDirect maps logical pages to fixed physical pages. An
+//     overwrite forces a read–erase–rewrite of the whole erase block, so a
+//     hot page burns through its block's endurance while cold blocks stay
+//     fresh. This is what happens with no storage manager at all.
+//   - PolicyFIFO appends writes to a log and cleans blocks in allocation
+//     order (round-robin). Wear is even but cleaning copies cold data
+//     again and again.
+//   - PolicyGreedy cleans the block with the most dead pages, minimising
+//     copy work but ignoring wear and data temperature.
+//   - PolicyCostBenefit uses the LFS cost-benefit formula
+//     benefit/cost = age × (1−u) / (1+u), optionally with hot/cold data
+//     separation (two log heads) and wear-aware free-block allocation:
+//     hot data goes to the least-worn free blocks, relocated cold data to
+//     the most-worn, which passively levels wear.
+//
+// Erases can be issued in the background (the bank stays busy but the
+// writer does not stall), which is what makes the banking experiment's
+// read-latency story work.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"ssmobile/internal/flash"
+	"ssmobile/internal/sim"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoSpace reports that every logical page is live and no block can
+	// be cleaned.
+	ErrNoSpace = errors.New("ftl: no space")
+	// ErrBadPage reports an out-of-range logical page number.
+	ErrBadPage = errors.New("ftl: logical page out of range")
+	// ErrBadSize reports data whose length is not exactly one page.
+	ErrBadSize = errors.New("ftl: data must be exactly one page")
+	// ErrDeviceWorn reports that wear has made the operation impossible.
+	ErrDeviceWorn = errors.New("ftl: flash worn out")
+)
+
+// Policy selects the mapping and cleaning strategy.
+type Policy int
+
+// Policies, in increasing order of sophistication.
+const (
+	PolicyDirect Policy = iota
+	PolicyFIFO
+	PolicyGreedy
+	PolicyCostBenefit
+)
+
+var policyNames = [...]string{"direct", "fifo", "greedy", "cost-benefit"}
+
+// String names the policy.
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config parameterises the layer.
+type Config struct {
+	// PageBytes is the mapping granularity; it must divide the device's
+	// erase-block size.
+	PageBytes int
+	// ReserveBlocks is the cleaning headroom: cleaning runs whenever the
+	// free-block count is at or below this. At least 1; log policies
+	// subtract the reserve (plus the two log heads) from the logical
+	// capacity.
+	ReserveBlocks int
+	// Policy selects the cleaning strategy.
+	Policy Policy
+	// HotCold enables two log heads: overwrites (hot) and first writes /
+	// cleaner relocations (cold) append to different blocks, and free
+	// blocks are chosen wear-aware. Only meaningful for log policies.
+	HotCold bool
+	// BackgroundErase issues erases asynchronously so the writer does not
+	// stall for them; the bank stays busy.
+	BackgroundErase bool
+	// PersistMapping writes an out-of-band record (sequence number,
+	// logical page number, caller tag) into the flash spare area on every
+	// program, so Mount can rebuild the full mapping by scanning the
+	// device after a power loss. Requires a device whose spare-unit size
+	// equals PageBytes with at least OOBRecordBytes of spare. Not
+	// supported with PolicyDirect.
+	PersistMapping bool
+	// WearDeltaThreshold enables static wear leveling: when the spread
+	// between the most- and least-erased blocks exceeds the threshold,
+	// the cleaner forcibly relocates the coldest (least-erased, fully
+	// live) block so its barely-worn cells rejoin the allocation pool.
+	// Without it, truly cold data pins its blocks at zero erases while
+	// the rest of the device wears out around it. Zero disables.
+	WearDeltaThreshold int64
+	// IdleCleanThreshold lets CleanIdle run cleaning in idle periods
+	// until this many blocks are free, taking cleaning work off the
+	// write path. Zero disables idle cleaning.
+	IdleCleanThreshold int
+}
+
+type pageState uint8
+
+const (
+	pageFree pageState = iota
+	pageValid
+	pageDead
+)
+
+type blockInfo struct {
+	valid, dead int
+	allocSeq    int64    // when the block last became a log head
+	lastWrite   sim.Time // most recent program into the block
+	isFree      bool
+	isActive    bool
+	retired     bool
+}
+
+// Stats aggregates the layer's counters for the experiments.
+type Stats struct {
+	HostWrites, HostReads int64
+	HostBytesWritten      int64
+	Cleans, CopiedPages   int64
+	StaticMoves           int64 // static wear-leveling relocations
+	IdleCleans            int64 // cleans run off the write path
+	WriteAmplification    float64
+	RetiredBlocks         int
+	FirstWearOut          sim.Time // zero if none
+	FirstWearOutHostBytes int64    // host bytes written when it happened
+}
+
+// FTL is the translation layer over one flash device. Not safe for
+// concurrent use.
+type FTL struct {
+	dev   *flash.Device
+	clock *sim.Clock
+	cfg   Config
+
+	pagesPerBlock int
+	numBlocks     int
+	totalPages    int64
+	logicalPages  int64
+
+	mapping []int64 // lpn → ppn, -1 unmapped
+	reverse []int64 // ppn → lpn, -1 none
+	state   []pageState
+	blocks  []blockInfo
+
+	freeByBank [][]int
+	freeCount  int
+	nextBank   int
+
+	hotActive, coldActive int // block ids, -1 when none
+	hotPtr, coldPtr       int
+
+	allocSeq int64
+	tags     map[int64]Tag    // lpn → caller tag (persisted in OOB)
+	pageSeq  map[int64]uint64 // lpn → newest program sequence
+	writeSeq uint64           // monotone program sequence for OOB records
+
+	hostWrites, hostReads   sim.Counter
+	hostBytes               sim.Counter
+	cleans, copies          sim.Counter
+	staticMoves, idleCleans sim.Counter
+	retired                 int
+	firstWearOut            sim.Time
+	firstWearOutHostBytes   int64
+}
+
+// New builds a translation layer over dev. The device must be freshly
+// erased (all blocks free), which is how flash.New delivers it.
+func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
+	if cfg.PageBytes <= 0 || dev.BlockBytes()%cfg.PageBytes != 0 {
+		return nil, fmt.Errorf("ftl: page size %d does not divide block size %d", cfg.PageBytes, dev.BlockBytes())
+	}
+	if cfg.ReserveBlocks < 1 {
+		cfg.ReserveBlocks = 1
+	}
+	ppb := dev.BlockBytes() / cfg.PageBytes
+	nb := dev.NumBlocks()
+	total := int64(nb) * int64(ppb)
+
+	f := &FTL{
+		dev:           dev,
+		clock:         clock,
+		cfg:           cfg,
+		pagesPerBlock: ppb,
+		numBlocks:     nb,
+		totalPages:    total,
+		mapping:       make([]int64, total),
+		reverse:       make([]int64, total),
+		state:         make([]pageState, total),
+		blocks:        make([]blockInfo, nb),
+		freeByBank:    make([][]int, dev.Banks()),
+		hotActive:     -1,
+		coldActive:    -1,
+	}
+	for i := range f.mapping {
+		f.mapping[i] = -1
+		f.reverse[i] = -1
+	}
+	for b := 0; b < nb; b++ {
+		f.blocks[b].isFree = true
+		bank := dev.BankOf(b)
+		f.freeByBank[bank] = append(f.freeByBank[bank], b)
+	}
+	f.freeCount = nb
+
+	if cfg.Policy == PolicyDirect {
+		f.logicalPages = total
+	} else {
+		overhead := int64(cfg.ReserveBlocks+2) * int64(ppb)
+		if overhead >= total {
+			return nil, fmt.Errorf("ftl: reserve %d blocks leaves no logical space on %d blocks", cfg.ReserveBlocks, nb)
+		}
+		f.logicalPages = total - overhead
+	}
+	if cfg.PersistMapping {
+		if err := f.checkOOBSupport(); err != nil {
+			return nil, err
+		}
+		f.tags = make(map[int64]Tag)
+		f.pageSeq = make(map[int64]uint64)
+	}
+	return f, nil
+}
+
+// Config returns the layer configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// PageBytes reports the mapping granularity.
+func (f *FTL) PageBytes() int { return f.cfg.PageBytes }
+
+// LogicalPages reports the host-visible capacity in pages.
+func (f *FTL) LogicalPages() int64 { return f.logicalPages }
+
+// LogicalBytes reports the host-visible capacity in bytes.
+func (f *FTL) LogicalBytes() int64 { return f.logicalPages * int64(f.cfg.PageBytes) }
+
+// Device exposes the underlying flash device (for experiment metrics).
+func (f *FTL) Device() *flash.Device { return f.dev }
+
+func (f *FTL) checkLPN(lpn int64) error {
+	if lpn < 0 || lpn >= f.logicalPages {
+		return fmt.Errorf("%w: %d of %d", ErrBadPage, lpn, f.logicalPages)
+	}
+	return nil
+}
+
+func (f *FTL) pageAddr(ppn int64) int64 { return ppn * int64(f.cfg.PageBytes) }
+
+func (f *FTL) blockOfPage(ppn int64) int { return int(ppn / int64(f.pagesPerBlock)) }
+
+// markDead retires a physical page's contents.
+func (f *FTL) markDead(ppn int64) {
+	b := f.blockOfPage(ppn)
+	if f.state[ppn] != pageValid {
+		panic(fmt.Sprintf("ftl: markDead on %v page %d", f.state[ppn], ppn))
+	}
+	f.state[ppn] = pageDead
+	f.blocks[b].valid--
+	f.blocks[b].dead++
+	f.reverse[ppn] = -1
+}
+
+// takeFreeBlock removes and returns a free block, preferring the least- or
+// most-worn depending on the stream (wear-aware allocation) and rotating
+// across banks so consecutive log heads land on different banks.
+func (f *FTL) takeFreeBlock(preferWorn bool) (int, bool) {
+	if f.freeCount == 0 {
+		return -1, false
+	}
+	// Rotate the starting bank so allocation stripes across banks.
+	banks := len(f.freeByBank)
+	for i := 0; i < banks; i++ {
+		bank := (f.nextBank + i) % banks
+		list := f.freeByBank[bank]
+		if len(list) == 0 {
+			continue
+		}
+		best := 0
+		if f.cfg.HotCold {
+			for j := 1; j < len(list); j++ {
+				cj := f.dev.EraseCount(list[j])
+				cb := f.dev.EraseCount(list[best])
+				if (preferWorn && cj > cb) || (!preferWorn && cj < cb) {
+					best = j
+				}
+			}
+		}
+		blk := list[best]
+		list[best] = list[len(list)-1]
+		f.freeByBank[bank] = list[:len(list)-1]
+		f.freeCount--
+		f.blocks[blk].isFree = false
+		f.nextBank = (bank + 1) % banks
+		return blk, true
+	}
+	return -1, false
+}
+
+func (f *FTL) releaseFreeBlock(blk int) {
+	f.blocks[blk].isFree = true
+	f.blocks[blk].valid = 0
+	f.blocks[blk].dead = 0
+	f.freeByBank[f.dev.BankOf(blk)] = append(f.freeByBank[f.dev.BankOf(blk)], blk)
+	f.freeCount++
+}
+
+// allocPage returns the next free physical page on the requested stream,
+// opening a new log head when the current one is full. It does not clean;
+// the caller guarantees space.
+func (f *FTL) allocPage(hot bool) (int64, error) {
+	active, ptr := &f.coldActive, &f.coldPtr
+	if hot && f.cfg.HotCold {
+		active, ptr = &f.hotActive, &f.hotPtr
+	}
+	if *active == -1 || *ptr >= f.pagesPerBlock {
+		if *active != -1 {
+			f.blocks[*active].isActive = false
+		}
+		blk, ok := f.takeFreeBlock(!hot && f.cfg.HotCold)
+		if !ok {
+			return -1, ErrNoSpace
+		}
+		f.allocSeq++
+		f.blocks[blk].isActive = true
+		f.blocks[blk].allocSeq = f.allocSeq
+		*active = blk
+		*ptr = 0
+	}
+	ppn := int64(*active)*int64(f.pagesPerBlock) + int64(*ptr)
+	*ptr++
+	return ppn, nil
+}
+
+// programPage writes one page at ppn and updates the metadata, persisting
+// the OOB record when mapping persistence is on.
+func (f *FTL) programPage(ppn, lpn int64, data []byte) error {
+	if _, err := f.dev.Program(f.pageAddr(ppn), data); err != nil {
+		return err
+	}
+	if f.cfg.PersistMapping {
+		f.writeSeq++
+		rec := encodeOOB(f.writeSeq, lpn, f.tags[lpn])
+		if _, err := f.dev.ProgramSpare(ppn, rec); err != nil {
+			return err
+		}
+		f.pageSeq[lpn] = f.writeSeq
+	}
+	b := f.blockOfPage(ppn)
+	f.state[ppn] = pageValid
+	f.reverse[ppn] = lpn
+	f.mapping[lpn] = ppn
+	f.blocks[b].valid++
+	f.blocks[b].lastWrite = f.clock.Now()
+	return nil
+}
+
+// WritePageTagged stores one page and associates tag with the logical
+// page; the tag rides along through cleaning relocations and, with
+// mapping persistence on, survives power loss in the OOB area. Higher
+// layers use it to record which object and block the page belongs to.
+func (f *FTL) WritePageTagged(lpn int64, data []byte, tag Tag) error {
+	if f.tags != nil {
+		f.tags[lpn] = tag
+	}
+	return f.WritePage(lpn, data)
+}
+
+// TagOf reports the tag associated with the logical page.
+func (f *FTL) TagOf(lpn int64) Tag {
+	return f.tags[lpn]
+}
+
+// SeqOf reports the newest program sequence number of the logical page
+// (0 if unknown). With mapping persistence on, sequence numbers order
+// versions across power failures.
+func (f *FTL) SeqOf(lpn int64) uint64 {
+	return f.pageSeq[lpn]
+}
+
+// ForEachMapped calls fn for every mapped logical page with its tag.
+func (f *FTL) ForEachMapped(fn func(lpn int64, tag Tag)) {
+	for lpn := int64(0); lpn < f.logicalPages; lpn++ {
+		if f.Mapped(lpn) {
+			fn(lpn, f.tags[lpn])
+		}
+	}
+}
+
+// WritePage stores one page of data at the logical page lpn. Any tag
+// previously set with WritePageTagged is preserved.
+func (f *FTL) WritePage(lpn int64, data []byte) error {
+	if err := f.checkLPN(lpn); err != nil {
+		return err
+	}
+	if len(data) != f.cfg.PageBytes {
+		return fmt.Errorf("%w: got %d want %d", ErrBadSize, len(data), f.cfg.PageBytes)
+	}
+	f.hostWrites.Inc()
+	f.hostBytes.Add(int64(len(data)))
+
+	if f.cfg.Policy == PolicyDirect {
+		return f.writeDirect(lpn, data)
+	}
+
+	if err := f.ensureSpace(); err != nil {
+		return err
+	}
+	hot := f.mapping[lpn] != -1
+	if old := f.mapping[lpn]; old != -1 {
+		f.markDead(old)
+		f.mapping[lpn] = -1
+	}
+	ppn, err := f.allocPage(hot)
+	if err != nil {
+		return err
+	}
+	return f.programPage(ppn, lpn, data)
+}
+
+// ReadPage fetches one page into buf, which must be one page long.
+func (f *FTL) ReadPage(lpn int64, buf []byte) error {
+	if err := f.checkLPN(lpn); err != nil {
+		return err
+	}
+	if len(buf) != f.cfg.PageBytes {
+		return fmt.Errorf("%w: got %d want %d", ErrBadSize, len(buf), f.cfg.PageBytes)
+	}
+	f.hostReads.Inc()
+	ppn := f.mapping[lpn]
+	if f.cfg.Policy == PolicyDirect {
+		ppn = lpn
+		if f.state[ppn] != pageValid {
+			ppn = -1
+		}
+	}
+	if ppn == -1 {
+		// Never written: the host sees erased bytes. No physical location
+		// exists to charge a device access to, so this is free.
+		for i := range buf {
+			buf[i] = 0xFF
+		}
+		return nil
+	}
+	_, err := f.dev.Read(f.pageAddr(ppn), buf)
+	return err
+}
+
+// TrimPage tells the layer the logical page's contents are no longer
+// needed (a file was deleted), so its physical page can be reclaimed
+// without being copied. The paper's storage manager depends on this to
+// keep cleaning cheap under short-lived files.
+func (f *FTL) TrimPage(lpn int64) error {
+	if err := f.checkLPN(lpn); err != nil {
+		return err
+	}
+	if f.cfg.Policy == PolicyDirect {
+		if f.state[lpn] == pageValid {
+			f.markDead(lpn)
+		}
+		return nil
+	}
+	if old := f.mapping[lpn]; old != -1 {
+		f.markDead(old)
+		f.mapping[lpn] = -1
+	}
+	delete(f.tags, lpn)
+	return nil
+}
+
+// Mapped reports whether the logical page currently holds data.
+func (f *FTL) Mapped(lpn int64) bool {
+	if lpn < 0 || lpn >= f.logicalPages {
+		return false
+	}
+	if f.cfg.Policy == PolicyDirect {
+		return f.state[lpn] == pageValid
+	}
+	return f.mapping[lpn] != -1
+}
+
+// ensureSpace cleans until the free pool is above the reserve. A device
+// that is exactly full with no dead pages has nothing to clean but can
+// still absorb writes from its remaining free blocks, so the absence of a
+// victim is only fatal once the free pool is empty.
+func (f *FTL) ensureSpace() error {
+	for f.freeCount <= f.cfg.ReserveBlocks {
+		victim := f.pickVictim()
+		if victim == -1 {
+			if f.freeCount > 0 {
+				return nil
+			}
+			return ErrNoSpace
+		}
+		if err := f.cleanOne(victim); err != nil {
+			return err
+		}
+	}
+	return f.levelWear()
+}
+
+// levelWear performs static wear leveling: if the erase-count spread has
+// grown past the threshold, relocate the coldest block — the least-erased
+// non-free block — so its low-wear cells return to the allocation pool.
+// At most one block moves per call, bounding the added write cost.
+func (f *FTL) levelWear() error {
+	if f.cfg.WearDeltaThreshold <= 0 || f.cfg.Policy == PolicyDirect {
+		return nil
+	}
+	var maxCount int64
+	coldest := -1
+	var coldCount int64
+	for b := 0; b < f.numBlocks; b++ {
+		info := &f.blocks[b]
+		c := f.dev.EraseCount(b)
+		if c > maxCount {
+			maxCount = c
+		}
+		if info.isFree || info.isActive || info.retired {
+			continue
+		}
+		if coldest == -1 || c < coldCount {
+			coldest = b
+			coldCount = c
+		}
+	}
+	if coldest == -1 || maxCount-coldCount <= f.cfg.WearDeltaThreshold {
+		return nil
+	}
+	// Need headroom to relocate a fully live block.
+	if f.freeCount <= 1 {
+		return nil
+	}
+	f.staticMoves.Inc()
+	return f.cleanOne(coldest)
+}
+
+// CleanIdle runs cleaning during idle time until IdleCleanThreshold
+// blocks are free (or nothing is cleanable), so foreground writes rarely
+// wait for the cleaner. The storage manager calls it from its daemon
+// tick.
+func (f *FTL) CleanIdle() error {
+	if f.cfg.IdleCleanThreshold <= 0 {
+		return nil
+	}
+	for f.freeCount < f.cfg.IdleCleanThreshold {
+		victim := f.pickVictim()
+		if victim == -1 {
+			return nil
+		}
+		f.idleCleans.Inc()
+		if err := f.cleanOne(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cleanOne relocates the victim's live pages to the cold stream and
+// erases it.
+func (f *FTL) cleanOne(victim int) error {
+	f.cleans.Inc()
+	base := int64(victim) * int64(f.pagesPerBlock)
+	buf := make([]byte, f.cfg.PageBytes)
+	for i := 0; i < f.pagesPerBlock; i++ {
+		ppn := base + int64(i)
+		if f.state[ppn] != pageValid {
+			continue
+		}
+		lpn := f.reverse[ppn]
+		if _, err := f.dev.Read(f.pageAddr(ppn), buf); err != nil {
+			return err
+		}
+		f.markDead(ppn)
+		f.mapping[lpn] = -1
+		dst, err := f.allocPage(false)
+		if err != nil {
+			return err
+		}
+		if err := f.programPage(dst, lpn, buf); err != nil {
+			return err
+		}
+		f.copies.Inc()
+	}
+	return f.eraseBlock(victim)
+}
+
+// eraseBlock erases a fully dead block and returns it to the free pool,
+// retiring it instead if it has worn out.
+func (f *FTL) eraseBlock(victim int) error {
+	var err error
+	if f.cfg.BackgroundErase {
+		err = f.dev.EraseAsync(victim)
+	} else {
+		_, err = f.dev.Erase(victim)
+	}
+	if err != nil {
+		if errors.Is(err, flash.ErrWornOut) {
+			f.retireBlock(victim)
+			return nil // the pool shrank, but the clean freed its pages
+		}
+		return err
+	}
+	// Reset page states for the erased block.
+	base := int64(victim) * int64(f.pagesPerBlock)
+	for i := 0; i < f.pagesPerBlock; i++ {
+		f.state[base+int64(i)] = pageFree
+		f.reverse[base+int64(i)] = -1
+	}
+	f.releaseFreeBlock(victim)
+	return nil
+}
+
+func (f *FTL) retireBlock(blk int) {
+	f.blocks[blk].retired = true
+	f.retired++
+	if f.firstWearOut == 0 {
+		f.firstWearOut = f.clock.Now()
+		f.firstWearOutHostBytes = f.hostBytes.Value()
+	}
+	// Shrink the logical space: the device lost a block of capacity.
+	f.logicalPages -= int64(f.pagesPerBlock)
+	if f.logicalPages < 0 {
+		f.logicalPages = 0
+	}
+}
+
+// pickVictim chooses the next block to clean, or -1 if none is eligible.
+func (f *FTL) pickVictim() int {
+	best := -1
+	var bestScore float64
+	now := f.clock.Now()
+	for b := 0; b < f.numBlocks; b++ {
+		info := &f.blocks[b]
+		if info.isFree || info.isActive || info.retired || info.dead == 0 {
+			continue
+		}
+		var score float64
+		switch f.cfg.Policy {
+		case PolicyFIFO:
+			// Oldest log head first: smaller allocSeq = better. Negate so
+			// larger score wins uniformly.
+			score = -float64(info.allocSeq)
+		case PolicyGreedy:
+			score = float64(info.dead)
+		case PolicyCostBenefit:
+			u := float64(info.valid) / float64(f.pagesPerBlock)
+			age := now.Sub(info.lastWrite).Seconds() + 1e-9
+			score = age * (1 - u) / (1 + u)
+		default:
+			score = float64(info.dead)
+		}
+		if best == -1 || score > bestScore {
+			best = b
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// writeDirect implements the no-translation baseline: the logical page
+// lives at the identical physical page, and overwriting it means erasing
+// and reprogramming the whole block.
+func (f *FTL) writeDirect(lpn int64, data []byte) error {
+	ppn := lpn
+	blk := f.blockOfPage(ppn)
+	if f.blocks[blk].retired {
+		return fmt.Errorf("%w: block %d retired", ErrDeviceWorn, blk)
+	}
+	if f.state[ppn] == pageFree {
+		if f.blocks[blk].isFree {
+			f.blocks[blk].isFree = false
+			// Remove from the free pool bookkeeping lazily; the direct
+			// policy never allocates from it.
+			f.freeCount--
+		}
+		return f.programPage(ppn, lpn, data)
+	}
+	// Read–modify–erase–rewrite of the whole block.
+	base := int64(blk) * int64(f.pagesPerBlock)
+	live := make(map[int64][]byte)
+	buf := make([]byte, f.cfg.PageBytes)
+	for i := 0; i < f.pagesPerBlock; i++ {
+		p := base + int64(i)
+		if p == ppn || f.state[p] != pageValid {
+			continue
+		}
+		if _, err := f.dev.Read(f.pageAddr(p), buf); err != nil {
+			return err
+		}
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		live[p] = cp
+	}
+	var err error
+	if f.cfg.BackgroundErase {
+		err = f.dev.EraseAsync(blk)
+	} else {
+		_, err = f.dev.Erase(blk)
+	}
+	if err != nil {
+		if errors.Is(err, flash.ErrWornOut) {
+			f.retireBlock(blk)
+			return fmt.Errorf("%w: block %d", ErrDeviceWorn, blk)
+		}
+		return err
+	}
+	// Reset block state and reprogram survivors plus the new page.
+	for i := 0; i < f.pagesPerBlock; i++ {
+		p := base + int64(i)
+		f.state[p] = pageFree
+		f.reverse[p] = -1
+	}
+	f.blocks[blk].valid = 0
+	f.blocks[blk].dead = 0
+	for p, d := range live {
+		if err := f.programPage(p, p, d); err != nil {
+			return err
+		}
+		f.copies.Inc()
+	}
+	return f.programPage(ppn, lpn, data)
+}
+
+// FreeBlocks reports the current free-block count.
+func (f *FTL) FreeBlocks() int { return f.freeCount }
+
+// Stats summarises the layer counters.
+func (f *FTL) Stats() Stats {
+	hb := f.hostBytes.Value()
+	wa := 0.0
+	if hb > 0 {
+		wa = float64(f.dev.Stats().BytesProgrammed) / float64(hb)
+	}
+	return Stats{
+		HostWrites:            f.hostWrites.Value(),
+		HostReads:             f.hostReads.Value(),
+		HostBytesWritten:      hb,
+		Cleans:                f.cleans.Value(),
+		CopiedPages:           f.copies.Value(),
+		StaticMoves:           f.staticMoves.Value(),
+		IdleCleans:            f.idleCleans.Value(),
+		WriteAmplification:    wa,
+		RetiredBlocks:         f.retired,
+		FirstWearOut:          f.firstWearOut,
+		FirstWearOutHostBytes: f.firstWearOutHostBytes,
+	}
+}
+
+// CheckInvariants verifies internal consistency; tests call it after
+// random operation sequences. It returns the first violation found.
+func (f *FTL) CheckInvariants() error {
+	if f.cfg.Policy == PolicyDirect {
+		return nil
+	}
+	for lpn, ppn := range f.mapping {
+		if ppn == -1 {
+			continue
+		}
+		if f.reverse[ppn] != int64(lpn) {
+			return fmt.Errorf("mapping %d→%d but reverse %d→%d", lpn, ppn, ppn, f.reverse[ppn])
+		}
+		if f.state[ppn] != pageValid {
+			return fmt.Errorf("mapped page %d not valid", ppn)
+		}
+	}
+	for b := 0; b < f.numBlocks; b++ {
+		base := int64(b) * int64(f.pagesPerBlock)
+		valid, dead := 0, 0
+		for i := 0; i < f.pagesPerBlock; i++ {
+			switch f.state[base+int64(i)] {
+			case pageValid:
+				valid++
+			case pageDead:
+				dead++
+			}
+		}
+		if valid != f.blocks[b].valid || dead != f.blocks[b].dead {
+			return fmt.Errorf("block %d counts valid=%d/%d dead=%d/%d",
+				b, f.blocks[b].valid, valid, f.blocks[b].dead, dead)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ssmobile/internal/flash"
+	"ssmobile/internal/sim"
+)
+
+// Tag is opaque caller metadata attached to a logical page (typically an
+// object id and block index). With mapping persistence on, it is stored
+// in the page's out-of-band record and recovered by Mount.
+type Tag [16]byte
+
+// OOBRecordBytes is the size of the out-of-band record persisted per
+// page: a magic word, the program sequence number, the logical page
+// number, and the caller tag.
+const OOBRecordBytes = 4 + 8 + 8 + 16
+
+const oobMagic uint32 = 0x53534d4c // "SSML"
+
+func encodeOOB(seq uint64, lpn int64, tag Tag) []byte {
+	rec := make([]byte, OOBRecordBytes)
+	binary.LittleEndian.PutUint32(rec[0:], oobMagic)
+	binary.LittleEndian.PutUint64(rec[4:], seq)
+	binary.LittleEndian.PutUint64(rec[12:], uint64(lpn))
+	copy(rec[20:], tag[:])
+	return rec
+}
+
+func decodeOOB(rec []byte) (seq uint64, lpn int64, tag Tag, ok bool) {
+	if len(rec) < OOBRecordBytes || binary.LittleEndian.Uint32(rec) != oobMagic {
+		return 0, 0, Tag{}, false
+	}
+	seq = binary.LittleEndian.Uint64(rec[4:])
+	lpn = int64(binary.LittleEndian.Uint64(rec[12:]))
+	copy(tag[:], rec[20:])
+	return seq, lpn, tag, true
+}
+
+// checkOOBSupport verifies the device can carry per-page records.
+func (f *FTL) checkOOBSupport() error {
+	if f.cfg.Policy == PolicyDirect {
+		return fmt.Errorf("ftl: mapping persistence not supported with the direct policy")
+	}
+	dc := f.dev.Config()
+	if dc.SpareBytes < OOBRecordBytes {
+		return fmt.Errorf("ftl: device spare of %d bytes below the %d-byte OOB record", dc.SpareBytes, OOBRecordBytes)
+	}
+	if dc.SpareUnitBytes != f.cfg.PageBytes {
+		return fmt.Errorf("ftl: device spare unit %d != page size %d", dc.SpareUnitBytes, f.cfg.PageBytes)
+	}
+	return nil
+}
+
+// Mount rebuilds a translation layer from a device that already holds
+// data, by scanning every page's out-of-band record — the power-failure
+// recovery path. The configuration must have PersistMapping set and match
+// the one the data was written with (page size, policy family). The scan
+// is charged real device reads, so mount time appears in the simulation.
+//
+// Pages whose records are superseded by a newer sequence number for the
+// same logical page are treated as dead, as are unprogrammed pages inside
+// partially written blocks (interrupted log heads). Blocks the device
+// reports worn out are retired again.
+func Mount(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
+	if !cfg.PersistMapping {
+		return nil, fmt.Errorf("ftl: Mount requires PersistMapping")
+	}
+	f, err := New(dev, clock, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type claim struct {
+		ppn int64
+		seq uint64
+		tag Tag
+	}
+	best := make(map[int64]claim)
+	used := make([]bool, f.totalPages) // pages with any record
+	rec := make([]byte, OOBRecordBytes)
+	var maxSeq uint64
+
+	for ppn := int64(0); ppn < f.totalPages; ppn++ {
+		if _, err := dev.ReadSpare(ppn, rec); err != nil {
+			return nil, err
+		}
+		seq, lpn, tag, ok := decodeOOB(rec)
+		if !ok {
+			continue
+		}
+		used[ppn] = true
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if lpn < 0 || lpn >= f.logicalPages {
+			continue // stale record for a page beyond this geometry
+		}
+		if prev, dup := best[lpn]; !dup || seq > prev.seq {
+			best[lpn] = claim{ppn: ppn, seq: seq, tag: tag}
+		}
+	}
+	f.writeSeq = maxSeq
+
+	// Classify blocks and pages; only the winning (newest) record for
+	// each logical page contributes its tag.
+	winners := make(map[int64]int64, len(best)) // ppn → lpn
+	for lpn, c := range best {
+		winners[c.ppn] = lpn
+		f.tags[lpn] = c.tag
+		f.pageSeq[lpn] = c.seq
+	}
+	for b := 0; b < f.numBlocks; b++ {
+		base := int64(b) * int64(f.pagesPerBlock)
+		blockUsed := false
+		for i := 0; i < f.pagesPerBlock; i++ {
+			if used[base+int64(i)] {
+				blockUsed = true
+				break
+			}
+		}
+		if dev.WornOut(b) {
+			f.removeFromFreePool(b)
+			f.retireBlockOnMount(b)
+			continue
+		}
+		if !blockUsed {
+			continue // stays in the free pool
+		}
+		f.removeFromFreePool(b)
+		for i := 0; i < f.pagesPerBlock; i++ {
+			ppn := base + int64(i)
+			if lpn, win := winners[ppn]; win {
+				f.state[ppn] = pageValid
+				f.reverse[ppn] = lpn
+				f.mapping[lpn] = ppn
+				f.blocks[b].valid++
+			} else {
+				// Superseded record, stale record, or an unprogrammed
+				// page in an interrupted log head: all reclaimable.
+				f.state[ppn] = pageDead
+				f.blocks[b].dead++
+			}
+		}
+		f.blocks[b].allocSeq = f.nextAllocSeq()
+	}
+	return f, nil
+}
+
+// removeFromFreePool takes a specific block out of its bank's free list.
+func (f *FTL) removeFromFreePool(blk int) {
+	bank := f.dev.BankOf(blk)
+	list := f.freeByBank[bank]
+	for i, b := range list {
+		if b == blk {
+			list[i] = list[len(list)-1]
+			f.freeByBank[bank] = list[:len(list)-1]
+			f.freeCount--
+			f.blocks[blk].isFree = false
+			return
+		}
+	}
+}
+
+// retireBlockOnMount marks a worn block retired without touching the
+// wear-out statistics (the wear happened in a previous life).
+func (f *FTL) retireBlockOnMount(blk int) {
+	f.blocks[blk].retired = true
+	f.retired++
+	f.logicalPages -= int64(f.pagesPerBlock)
+	if f.logicalPages < 0 {
+		f.logicalPages = 0
+	}
+}
+
+func (f *FTL) nextAllocSeq() int64 {
+	f.allocSeq++
+	return f.allocSeq
+}

@@ -1,0 +1,77 @@
+package sim
+
+import "fmt"
+
+// Energy is an amount of energy in picojoules. Picojoule resolution makes
+// nanosecond × milliwatt products exact (1 mW for 1 ns is exactly 1 pJ)
+// while leaving headroom for multi-day simulations of watt-class loads:
+// the int64 range covers about 9.2 MJ, three orders of magnitude above a
+// typical notebook battery.
+type Energy int64 // picojoules
+
+// Energy units.
+const (
+	Picojoule  Energy = 1
+	Nanojoule         = 1000 * Picojoule
+	Microjoule        = 1000 * Nanojoule
+	Millijoule        = 1000 * Microjoule
+	Joule             = 1000 * Millijoule
+)
+
+// Joules reports the energy as floating-point joules.
+func (e Energy) Joules() float64 { return float64(e) / float64(Joule) }
+
+// String formats the energy with an adaptive unit.
+func (e Energy) String() string {
+	j := e.Joules()
+	switch {
+	case j >= 1:
+		return fmt.Sprintf("%.3f J", j)
+	case j >= 1e-3:
+		return fmt.Sprintf("%.3f mJ", j*1e3)
+	case j >= 1e-6:
+		return fmt.Sprintf("%.3f uJ", j*1e6)
+	default:
+		return fmt.Sprintf("%.3f nJ", j*1e9)
+	}
+}
+
+// EnergyFor computes the energy drawn by a load of p milliwatts held for d.
+// 1 mW × 1 ns = 1 pJ, so the product is exact in picojoules.
+func EnergyFor(pMilliwatts float64, d Duration) Energy {
+	return Energy(pMilliwatts * float64(d))
+}
+
+// EnergyMeter accumulates per-component energy draw. Device models charge
+// it for every operation and for idle power over elapsed time; experiment
+// drivers read it to report battery impact.
+type EnergyMeter struct {
+	total      Energy
+	byCategory map[string]Energy
+}
+
+// NewEnergyMeter returns an empty meter.
+func NewEnergyMeter() *EnergyMeter {
+	return &EnergyMeter{byCategory: make(map[string]Energy)}
+}
+
+// Charge records e joules of consumption attributed to category.
+func (m *EnergyMeter) Charge(category string, e Energy) {
+	if e < 0 {
+		panic(fmt.Sprintf("sim: negative energy charge %v for %s", e, category))
+	}
+	m.total += e
+	m.byCategory[category] += e
+}
+
+// Total reports the accumulated energy across all categories.
+func (m *EnergyMeter) Total() Energy { return m.total }
+
+// Category reports the accumulated energy for one category.
+func (m *EnergyMeter) Category(c string) Energy { return m.byCategory[c] }
+
+// Reset zeroes the meter.
+func (m *EnergyMeter) Reset() {
+	m.total = 0
+	m.byCategory = make(map[string]Energy)
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter accumulates a monotonically increasing count (operations, bytes).
+type Counter struct {
+	n int64
+}
+
+// Add increases the counter by d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Histogram collects scalar samples (latencies, sizes) into logarithmic
+// buckets and tracks exact count, sum, min and max. Percentiles are
+// estimated from the bucket boundaries; with the default 8 sub-buckets per
+// power of two the relative error is below 10%, which is ample for the
+// latency-shape comparisons the experiments make.
+type Histogram struct {
+	Name    string
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets map[int]int64
+}
+
+// NewHistogram returns an empty histogram labelled name.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{Name: name, min: math.Inf(1), max: math.Inf(-1), buckets: make(map[int]int64)}
+}
+
+const histSubBuckets = 8
+
+func histBucket(v float64) int {
+	if v <= 0 {
+		return math.MinInt32
+	}
+	return int(math.Floor(math.Log2(v) * histSubBuckets))
+}
+
+func histBucketUpper(b int) float64 {
+	if b == math.MinInt32 {
+		return 0
+	}
+	return math.Exp2(float64(b+1) / histSubBuckets)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[histBucket(v)]++
+}
+
+// ObserveDuration records a latency sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d Duration) { h.Observe(float64(d)) }
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean reports the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the buckets. The
+// exact min and max are returned for q=0 and q=1.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for _, k := range keys {
+		cum += h.buckets[k]
+		if cum >= target {
+			u := histBucketUpper(k)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.Max()
+}
+
+// String summarises the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f",
+		h.Name, h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// CoV computes the coefficient of variation (stddev/mean) of vs. It is the
+// wear-evenness metric for the wear-leveling experiments: 0 means perfectly
+// even erase counts.
+func CoV(vs []int64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(vs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range vs {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(vs))) / mean
+}
+
+// MaxInt64 returns the largest element of vs, or 0 when empty.
+func MaxInt64(vs []int64) int64 {
+	var m int64
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

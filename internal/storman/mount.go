@@ -1,0 +1,96 @@
+package storman
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ssmobile/internal/dram"
+	"ssmobile/internal/ftl"
+	"ssmobile/internal/sim"
+)
+
+// Tags carry the (object, block) identity of every flash-resident block
+// in the page's out-of-band record, so the manager's placement table can
+// be rebuilt by the translation layer's mount scan after a power loss.
+// Layout: object u64 | block u56 | marker 0xA5. The marker distinguishes
+// storage-manager pages from anything else that might write the layer.
+const tagMarker = 0xA5
+
+func encodeTag(key Key) ftl.Tag {
+	var tag ftl.Tag
+	binary.LittleEndian.PutUint64(tag[0:], key.Object)
+	binary.LittleEndian.PutUint64(tag[8:], uint64(key.Block))
+	tag[15] = tagMarker
+	return tag
+}
+
+func decodeTag(tag ftl.Tag) (Key, bool) {
+	if tag[15] != tagMarker {
+		return Key{}, false
+	}
+	obj := binary.LittleEndian.Uint64(tag[0:])
+	blkRaw := binary.LittleEndian.Uint64(tag[8:])
+	blk := int64(blkRaw & 0x00FFFFFFFFFFFFFF)
+	return Key{Object: obj, Block: blk}, true
+}
+
+// Mount rebuilds a storage manager over a translation layer that was
+// itself just mounted from a device scan (ftl.Mount): every tagged flash
+// page becomes a flash-resident block in the placement table, and
+// untagged pages are trimmed as orphans. DRAM-resident state is gone by
+// definition — this is the power-failure path — so the DRAM buffer
+// starts empty. Recovered blocks are assumed full-page sized; the file
+// system's inode sizes clamp reads, so over-length tails are invisible.
+func Mount(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Manager, error) {
+	if !fl.Config().PersistMapping {
+		return nil, fmt.Errorf("storman: Mount requires a translation layer with PersistMapping")
+	}
+	m, err := New(cfg, clock, dramDev, fl)
+	if err != nil {
+		return nil, err
+	}
+	// New filled freeLPN with every logical page; rebuild it to exclude
+	// the pages the scan found live.
+	m.freeLPN = m.freeLPN[:0]
+	inUse := make(map[int64]bool)
+	var orphans []int64
+	fl.ForEachMapped(func(lpn int64, tag ftl.Tag) {
+		key, ok := decodeTag(tag)
+		if !ok {
+			orphans = append(orphans, lpn)
+			return
+		}
+		// Two pages can claim the same key when a delete's trim was lost
+		// to the power failure and the key was re-created at a new page:
+		// keep the one with the newer program sequence.
+		if prev := m.lookup(key); prev != nil {
+			if fl.SeqOf(prev.lpn) >= fl.SeqOf(lpn) {
+				orphans = append(orphans, lpn)
+				return
+			}
+			orphans = append(orphans, prev.lpn)
+			delete(inUse, prev.lpn)
+			m.remove(prev)
+		}
+		inUse[lpn] = true
+		loc := &blockLoc{
+			key:       key,
+			size:      cfg.BlockBytes,
+			flashSize: cfg.BlockBytes,
+			dramPage:  -1,
+			lpn:       lpn,
+		}
+		m.insert(loc)
+	})
+	for _, lpn := range orphans {
+		if err := fl.TrimPage(lpn); err != nil {
+			return nil, err
+		}
+	}
+	for lpn := fl.LogicalPages() - 1; lpn >= 0; lpn-- {
+		if !inUse[lpn] {
+			m.freeLPN = append(m.freeLPN, lpn)
+		}
+	}
+	return m, nil
+}

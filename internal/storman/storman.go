@@ -1,0 +1,556 @@
+// Package storman implements the paper's physical storage manager (§3.3):
+// the layer that owns the free DRAM pages and free flash sectors and
+// migrates data between the two so that "data that is frequently written
+// [stays] in DRAM, and data that is mostly read in flash".
+//
+// The manager stores blocks for higher layers (the file system) keyed by
+// (object, block). Its policy is exactly the paper's:
+//
+//   - writes land in battery-backed DRAM pages and stay there while hot;
+//     overwrites are absorbed in place;
+//   - a write-back daemon migrates blocks to flash once they have been
+//     dirty for the write-back delay (they have proven they will live);
+//     eviction under DRAM pressure flushes the least recently written;
+//   - reads are served wherever the block lives — flash blocks are read
+//     in place, never copied into DRAM just to be read;
+//   - writing a block that lives in flash triggers the paper's
+//     copy-on-write: the block is copied to a DRAM page, the stale flash
+//     copy is trimmed, and subsequent writes are absorbed in DRAM;
+//   - deleting an object drops its DRAM blocks (bytes that never reach
+//     flash) and trims its flash pages so cleaning can reclaim them.
+//
+// Block data physically lives in the simulated DRAM device and in the
+// flash device behind the translation layer, so every access is charged
+// realistic latency and energy.
+package storman
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"ssmobile/internal/dram"
+	"ssmobile/internal/ftl"
+	"ssmobile/internal/sim"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoDRAM reports that the DRAM buffer region is exhausted and
+	// nothing can be evicted.
+	ErrNoDRAM = errors.New("storman: out of DRAM pages")
+	// ErrNoFlash reports that the flash logical space is exhausted.
+	ErrNoFlash = errors.New("storman: out of flash pages")
+	// ErrBadSize reports a block larger than the configured block size.
+	ErrBadSize = errors.New("storman: block too large")
+)
+
+// Key names one stored block.
+type Key struct {
+	Object uint64
+	Block  int64
+}
+
+// Config parameterises the manager.
+type Config struct {
+	// BlockBytes is the block (and DRAM page) size; it must equal the
+	// translation layer's page size.
+	BlockBytes int
+	// DRAMBase and DRAMBytes delimit the region of the DRAM device the
+	// manager may use for buffering.
+	DRAMBase  int64
+	DRAMBytes int64
+	// WriteBackDelay is the dirty age at which the daemon migrates a block
+	// to flash; zero disables age-based migration.
+	WriteBackDelay sim.Duration
+}
+
+// Stats aggregates the manager's accounting.
+type Stats struct {
+	HostBytesWritten       int64
+	HostBytesRead          int64
+	FlushedBytes           int64 // migrated DRAM → flash
+	OverwriteAbsorbedBytes int64
+	DeleteAbsorbedBytes    int64
+	CopyOnWrites           int64 // flash → DRAM migrations
+	Evictions              int64
+	DaemonFlushes          int64
+	FlashReads             int64 // blocks read in place from flash
+	DRAMReads              int64 // blocks read from DRAM
+	DRAMPagesInUse         int
+	DRAMPagesTotal         int
+}
+
+// Reduction reports the flash write-traffic reduction 1 − flushed/host.
+func (s Stats) Reduction() float64 {
+	if s.HostBytesWritten == 0 {
+		return 0
+	}
+	return 1 - float64(s.FlushedBytes)/float64(s.HostBytesWritten)
+}
+
+// blockLoc records where a block currently lives. A block dirty in DRAM
+// may still have a flash copy at lpn holding its last flushed version
+// (flashSize bytes); that stale copy is what survives a power failure.
+type blockLoc struct {
+	key        Key
+	size       int   // logical bytes in the block (current version)
+	flashSize  int   // logical bytes in the last flushed flash version
+	dramPage   int   // -1 if not in DRAM
+	lpn        int64 // -1 if not in flash
+	dirtySince sim.Time
+	lastWrite  sim.Time
+	lruElem    *list.Element // in writeOrder while dirty in DRAM
+	fifoElem   *list.Element // in dirtyOrder while dirty in DRAM
+}
+
+func (l *blockLoc) inDRAM() bool { return l.dramPage >= 0 }
+
+// Manager is the physical storage manager. Not safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	clock *sim.Clock
+	dram  *dram.Device
+	fl    *ftl.FTL
+
+	table    map[Key]*blockLoc
+	byObject map[uint64]map[int64]*blockLoc
+
+	freeDRAM   []int // free page indexes within the region
+	totalPages int
+
+	freeLPN []int64
+
+	writeOrder *list.List // LRW order of dirty DRAM blocks
+	dirtyOrder *list.List // dirty-age order
+
+	hostWritten, hostRead   sim.Counter
+	flushed                 sim.Counter
+	overwriteAbsorbed       sim.Counter
+	deleteAbsorbed          sim.Counter
+	cows, evictions, daemon sim.Counter
+	flashReads, dramReads   sim.Counter
+}
+
+// New builds a manager over the DRAM device region and the translation
+// layer. The FTL's page size must equal cfg.BlockBytes.
+func New(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Manager, error) {
+	if cfg.BlockBytes <= 0 {
+		return nil, fmt.Errorf("storman: non-positive block size")
+	}
+	if fl.PageBytes() != cfg.BlockBytes {
+		return nil, fmt.Errorf("storman: block size %d != ftl page size %d", cfg.BlockBytes, fl.PageBytes())
+	}
+	if cfg.DRAMBase < 0 || cfg.DRAMBytes < 0 || cfg.DRAMBase+cfg.DRAMBytes > dramDev.Capacity() {
+		return nil, fmt.Errorf("storman: DRAM region [%d,%d) outside device of %d",
+			cfg.DRAMBase, cfg.DRAMBase+cfg.DRAMBytes, dramDev.Capacity())
+	}
+	m := &Manager{
+		cfg:        cfg,
+		clock:      clock,
+		dram:       dramDev,
+		fl:         fl,
+		table:      make(map[Key]*blockLoc),
+		byObject:   make(map[uint64]map[int64]*blockLoc),
+		totalPages: int(cfg.DRAMBytes / int64(cfg.BlockBytes)),
+		writeOrder: list.New(),
+		dirtyOrder: list.New(),
+	}
+	for p := m.totalPages - 1; p >= 0; p-- {
+		m.freeDRAM = append(m.freeDRAM, p)
+	}
+	for lpn := fl.LogicalPages() - 1; lpn >= 0; lpn-- {
+		m.freeLPN = append(m.freeLPN, lpn)
+	}
+	return m, nil
+}
+
+// Config returns the manager configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// BlockBytes reports the block size.
+func (m *Manager) BlockBytes() int { return m.cfg.BlockBytes }
+
+// FlashPagesFree reports the unallocated flash logical pages.
+func (m *Manager) FlashPagesFree() int { return len(m.freeLPN) }
+
+// DRAMPagesFree reports the free DRAM buffer pages.
+func (m *Manager) DRAMPagesFree() int { return len(m.freeDRAM) }
+
+func (m *Manager) pageAddr(page int) int64 {
+	return m.cfg.DRAMBase + int64(page)*int64(m.cfg.BlockBytes)
+}
+
+func (m *Manager) lookup(key Key) *blockLoc { return m.table[key] }
+
+func (m *Manager) insert(loc *blockLoc) {
+	m.table[loc.key] = loc
+	blocks := m.byObject[loc.key.Object]
+	if blocks == nil {
+		blocks = make(map[int64]*blockLoc)
+		m.byObject[loc.key.Object] = blocks
+	}
+	blocks[loc.key.Block] = loc
+}
+
+func (m *Manager) remove(loc *blockLoc) {
+	delete(m.table, loc.key)
+	if blocks := m.byObject[loc.key.Object]; blocks != nil {
+		delete(blocks, loc.key.Block)
+		if len(blocks) == 0 {
+			delete(m.byObject, loc.key.Object)
+		}
+	}
+}
+
+// enqueueDirty puts the block on the dirty lists.
+func (m *Manager) enqueueDirty(loc *blockLoc) {
+	now := m.clock.Now()
+	loc.dirtySince = now
+	loc.lastWrite = now
+	loc.lruElem = m.writeOrder.PushBack(loc)
+	loc.fifoElem = m.dirtyOrder.PushBack(loc)
+}
+
+// dequeueDirty removes the block from the dirty lists.
+func (m *Manager) dequeueDirty(loc *blockLoc) {
+	if loc.lruElem != nil {
+		m.writeOrder.Remove(loc.lruElem)
+		loc.lruElem = nil
+	}
+	if loc.fifoElem != nil {
+		m.dirtyOrder.Remove(loc.fifoElem)
+		loc.fifoElem = nil
+	}
+}
+
+// allocDRAMPage returns a free page, evicting the least recently written
+// dirty block if necessary.
+func (m *Manager) allocDRAMPage() (int, error) {
+	if n := len(m.freeDRAM); n > 0 {
+		p := m.freeDRAM[n-1]
+		m.freeDRAM = m.freeDRAM[:n-1]
+		return p, nil
+	}
+	el := m.writeOrder.Front()
+	if el == nil {
+		return 0, ErrNoDRAM
+	}
+	m.evictions.Inc()
+	if err := m.migrateToFlash(el.Value.(*blockLoc)); err != nil {
+		return 0, err
+	}
+	return m.allocDRAMPage()
+}
+
+// migrateToFlash flushes a dirty DRAM block to flash and frees its page.
+func (m *Manager) migrateToFlash(loc *blockLoc) error {
+	buf := make([]byte, m.cfg.BlockBytes)
+	if _, err := m.dram.Read(m.pageAddr(loc.dramPage), buf[:loc.size]); err != nil {
+		return err
+	}
+	// Blocks are flushed at full page granularity; the tail past the
+	// logical size is padding.
+	for i := loc.size; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	lpn := loc.lpn
+	if lpn < 0 {
+		n := len(m.freeLPN)
+		if n == 0 {
+			return ErrNoFlash
+		}
+		lpn = m.freeLPN[n-1]
+		m.freeLPN = m.freeLPN[:n-1]
+	}
+	if err := m.fl.WritePageTagged(lpn, buf, encodeTag(loc.key)); err != nil {
+		return err
+	}
+	m.flushed.Add(int64(loc.size))
+	m.freeDRAM = append(m.freeDRAM, loc.dramPage)
+	loc.dramPage = -1
+	loc.lpn = lpn
+	loc.flashSize = loc.size
+	m.dequeueDirty(loc)
+	return nil
+}
+
+// WriteBlock stores data (at most one block) for key.
+func (m *Manager) WriteBlock(key Key, data []byte) error {
+	if len(data) > m.cfg.BlockBytes {
+		return fmt.Errorf("%w: %d > %d", ErrBadSize, len(data), m.cfg.BlockBytes)
+	}
+	m.hostWritten.Add(int64(len(data)))
+	loc := m.lookup(key)
+
+	switch {
+	case loc != nil && loc.inDRAM():
+		// Overwrite absorbed in place.
+		m.overwriteAbsorbed.Add(int64(loc.size))
+		if _, err := m.dram.Write(m.pageAddr(loc.dramPage), data); err != nil {
+			return err
+		}
+		if len(data) > loc.size {
+			loc.size = len(data)
+		}
+		loc.lastWrite = m.clock.Now()
+		if loc.lruElem != nil {
+			m.writeOrder.MoveToBack(loc.lruElem)
+		} else {
+			// Was clean in DRAM (just copied on write); mark dirty.
+			m.enqueueDirty(loc)
+		}
+		return nil
+
+	case loc != nil:
+		// Copy-on-write from flash: bring the block to DRAM and apply the
+		// write there. The stale flash copy is kept until the new version
+		// is flushed over it — after a power failure it is the version
+		// that survives.
+		m.cows.Inc()
+		old := make([]byte, m.cfg.BlockBytes)
+		if err := m.fl.ReadPage(loc.lpn, old); err != nil {
+			return err
+		}
+		page, err := m.allocDRAMPage()
+		if err != nil {
+			return err
+		}
+		copy(old, data)
+		size := loc.size
+		if len(data) > size {
+			size = len(data)
+		}
+		if _, err := m.dram.Write(m.pageAddr(page), old[:size]); err != nil {
+			return err
+		}
+		loc.dramPage = page
+		loc.size = size
+		m.enqueueDirty(loc)
+		return nil
+
+	default:
+		page, err := m.allocDRAMPage()
+		if err != nil {
+			return err
+		}
+		if _, err := m.dram.Write(m.pageAddr(page), data); err != nil {
+			return err
+		}
+		loc = &blockLoc{key: key, size: len(data), dramPage: page, lpn: -1}
+		m.insert(loc)
+		m.enqueueDirty(loc)
+		return nil
+	}
+}
+
+// ReadBlock fetches the block into buf and reports how many bytes it
+// holds. Unknown blocks read as zero length. Flash-resident blocks are
+// read in place; they are not promoted to DRAM.
+func (m *Manager) ReadBlock(key Key, buf []byte) (int, error) {
+	loc := m.lookup(key)
+	if loc == nil {
+		return 0, nil
+	}
+	n := loc.size
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if loc.inDRAM() {
+		m.dramReads.Inc()
+		if _, err := m.dram.Read(m.pageAddr(loc.dramPage), buf[:n]); err != nil {
+			return 0, err
+		}
+	} else {
+		m.flashReads.Inc()
+		page := make([]byte, m.cfg.BlockBytes)
+		if err := m.fl.ReadPage(loc.lpn, page); err != nil {
+			return 0, err
+		}
+		copy(buf[:n], page)
+	}
+	m.hostRead.Add(int64(n))
+	return n, nil
+}
+
+// BlockSize reports the stored size of a block, or 0 if absent.
+func (m *Manager) BlockSize(key Key) int {
+	if loc := m.lookup(key); loc != nil {
+		return loc.size
+	}
+	return 0
+}
+
+// InDRAM reports whether the block currently lives in DRAM.
+func (m *Manager) InDRAM(key Key) bool {
+	loc := m.lookup(key)
+	return loc != nil && loc.inDRAM()
+}
+
+// DeleteObject drops every block of the object. DRAM-resident bytes are
+// absorbed (they never reach flash); flash pages are trimmed.
+func (m *Manager) DeleteObject(object uint64) error {
+	blocks := m.byObject[object]
+	for _, loc := range blocks {
+		if err := m.dropBlock(loc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateBlock shrinks a block's stored size to at most size bytes
+// (file truncation landing mid-block). Shrinking to zero drops the block.
+func (m *Manager) TruncateBlock(key Key, size int) error {
+	loc := m.lookup(key)
+	if loc == nil || size >= loc.size {
+		return nil
+	}
+	if size <= 0 {
+		return m.dropBlock(loc)
+	}
+	loc.size = size
+	if loc.flashSize > size {
+		loc.flashSize = size
+	}
+	return nil
+}
+
+// Objects lists every object currently holding at least one block; the
+// file system uses it to reap orphans after a power-failure recovery.
+func (m *Manager) Objects() []uint64 {
+	out := make([]uint64, 0, len(m.byObject))
+	for obj := range m.byObject {
+		out = append(out, obj)
+	}
+	return out
+}
+
+// DeleteBlock drops a single block (truncation).
+func (m *Manager) DeleteBlock(key Key) error {
+	if loc := m.lookup(key); loc != nil {
+		return m.dropBlock(loc)
+	}
+	return nil
+}
+
+func (m *Manager) dropBlock(loc *blockLoc) error {
+	if loc.inDRAM() {
+		m.deleteAbsorbed.Add(int64(loc.size))
+		m.freeDRAM = append(m.freeDRAM, loc.dramPage)
+		m.dequeueDirty(loc)
+	}
+	if loc.lpn >= 0 {
+		if err := m.fl.TrimPage(loc.lpn); err != nil {
+			return err
+		}
+		m.freeLPN = append(m.freeLPN, loc.lpn)
+	}
+	m.remove(loc)
+	return nil
+}
+
+// Tick runs the write-back daemon: blocks dirty longer than the delay are
+// migrated to flash, and the translation layer gets an idle-cleaning
+// opportunity.
+func (m *Manager) Tick() error {
+	if m.cfg.WriteBackDelay > 0 {
+		now := m.clock.Now()
+		for {
+			el := m.dirtyOrder.Front()
+			if el == nil {
+				break
+			}
+			loc := el.Value.(*blockLoc)
+			if now.Sub(loc.dirtySince) < m.cfg.WriteBackDelay {
+				break
+			}
+			m.daemon.Inc()
+			if err := m.migrateToFlash(loc); err != nil {
+				return err
+			}
+		}
+	}
+	return m.fl.CleanIdle()
+}
+
+// SyncObject migrates the object's dirty blocks to flash — an fsync of
+// one file, used by the file system to checkpoint its metadata object.
+func (m *Manager) SyncObject(object uint64) error {
+	blocks := m.byObject[object]
+	for _, loc := range blocks {
+		if loc.inDRAM() {
+			if err := m.migrateToFlash(loc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PowerFailRecover reconciles the manager's state after the DRAM device
+// lost power: every DRAM-resident block reverts to its last flushed flash
+// version, and blocks that never reached flash disappear. It returns the
+// number of bytes of data lost. The caller is responsible for restoring
+// the DRAM device itself (dram.Device.Restore).
+func (m *Manager) PowerFailRecover() (lostBytes int64) {
+	var gone []*blockLoc
+	for _, loc := range m.table {
+		if !loc.inDRAM() {
+			continue
+		}
+		// The dirty version in DRAM is gone either way.
+		lostBytes += int64(loc.size)
+		if loc.lpn >= 0 {
+			// Revert to the flushed version.
+			loc.size = loc.flashSize
+			loc.dramPage = -1
+			loc.lruElem, loc.fifoElem = nil, nil
+		} else {
+			gone = append(gone, loc)
+		}
+	}
+	for _, loc := range gone {
+		m.remove(loc)
+	}
+	// Rebuild the DRAM free pool and dirty lists from scratch.
+	m.freeDRAM = m.freeDRAM[:0]
+	for p := m.totalPages - 1; p >= 0; p-- {
+		m.freeDRAM = append(m.freeDRAM, p)
+	}
+	m.writeOrder.Init()
+	m.dirtyOrder.Init()
+	return lostBytes
+}
+
+// Sync migrates every dirty block to flash (shutdown, or an explicit
+// application fsync).
+func (m *Manager) Sync() error {
+	for {
+		el := m.dirtyOrder.Front()
+		if el == nil {
+			return nil
+		}
+		if err := m.migrateToFlash(el.Value.(*blockLoc)); err != nil {
+			return err
+		}
+	}
+}
+
+// Stats summarises the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		HostBytesWritten:       m.hostWritten.Value(),
+		HostBytesRead:          m.hostRead.Value(),
+		FlushedBytes:           m.flushed.Value(),
+		OverwriteAbsorbedBytes: m.overwriteAbsorbed.Value(),
+		DeleteAbsorbedBytes:    m.deleteAbsorbed.Value(),
+		CopyOnWrites:           m.cows.Value(),
+		Evictions:              m.evictions.Value(),
+		DaemonFlushes:          m.daemon.Value(),
+		FlashReads:             m.flashReads.Value(),
+		DRAMReads:              m.dramReads.Value(),
+		DRAMPagesInUse:         m.totalPages - len(m.freeDRAM),
+		DRAMPagesTotal:         m.totalPages,
+	}
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadTrace checks the trace parser never panics on arbitrary input
+// and that everything it accepts round-trips through the writer.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte("100 write 1 0 4096\n200 delete 1 0 0\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte("9223372036854775807 read 18446744073709551615 0 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := tr.WriteTo(&out); err != nil {
+			t.Fatalf("writer failed on parsed trace: %v", err)
+		}
+		tr2, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(tr.Ops) != len(tr2.Ops) {
+			t.Fatalf("round trip changed length %d → %d", len(tr.Ops), len(tr2.Ops))
+		}
+		if len(tr.Ops) > 0 && !reflect.DeepEqual(tr.Ops, tr2.Ops) {
+			t.Fatal("round trip changed ops")
+		}
+	})
+}

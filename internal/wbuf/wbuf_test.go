@@ -1,0 +1,373 @@
+package wbuf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ssmobile/internal/sim"
+)
+
+// countingSink records flushed blocks.
+type countingSink struct {
+	blocks map[Key][]byte
+	bytes  int64
+	calls  int
+	err    error
+}
+
+func newCountingSink() *countingSink { return &countingSink{blocks: make(map[Key][]byte)} }
+
+func (s *countingSink) FlushBlock(key Key, data []byte) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.blocks[key] = append([]byte(nil), data...)
+	s.bytes += int64(len(data))
+	s.calls++
+	return nil
+}
+
+func newBuffer(t *testing.T, capacity int64, delay sim.Duration, policy EvictPolicy) (*Buffer, *sim.Clock, *countingSink) {
+	t.Helper()
+	clock := sim.NewClock()
+	sink := newCountingSink()
+	b, err := New(Config{CapacityBytes: capacity, BlockBytes: 4096, WriteBackDelay: delay, Policy: policy}, clock, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, clock, sink
+}
+
+func TestNewValidation(t *testing.T) {
+	clock := sim.NewClock()
+	if _, err := New(Config{BlockBytes: 0}, clock, newCountingSink()); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := New(Config{BlockBytes: 4096, CapacityBytes: -1}, clock, newCountingSink()); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := New(Config{BlockBytes: 4096}, clock, nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if EvictLRW.String() != "lrw" || EvictFIFO.String() != "fifo" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestWriteBuffered(t *testing.T) {
+	b, _, sink := newBuffer(t, 1<<20, 0, EvictLRW)
+	key := Key{Object: 1, Block: 0}
+	if err := b.Write(key, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.calls != 0 {
+		t.Fatal("buffered write reached the sink")
+	}
+	got, ok := b.Read(key)
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Read = %q, %v", got, ok)
+	}
+	if b.Len() != 1 || b.Size() != 5 {
+		t.Fatalf("Len/Size = %d/%d", b.Len(), b.Size())
+	}
+}
+
+func TestZeroCapacityWritesThrough(t *testing.T) {
+	b, _, sink := newBuffer(t, 0, 0, EvictLRW)
+	if err := b.Write(Key{1, 0}, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.calls != 1 || sink.bytes != 3 {
+		t.Fatal("write-through did not reach sink")
+	}
+	if s := b.Stats(); s.Reduction() != 0 {
+		t.Fatalf("reduction %v with no buffer", s.Reduction())
+	}
+}
+
+func TestOverwriteAbsorption(t *testing.T) {
+	b, _, sink := newBuffer(t, 1<<20, 0, EvictLRW)
+	key := Key{Object: 1, Block: 0}
+	for i := 0; i < 10; i++ {
+		if err := b.Write(key, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.HostBytes != 10*4096 {
+		t.Fatalf("host bytes %d", s.HostBytes)
+	}
+	if s.FlushedBytes != 4096 || sink.bytes != 4096 {
+		t.Fatalf("flushed %d, want one block", s.FlushedBytes)
+	}
+	if s.OverwriteAbsorbedBytes != 9*4096 {
+		t.Fatalf("absorbed %d", s.OverwriteAbsorbedBytes)
+	}
+	if got := s.Reduction(); got < 0.89 || got > 0.91 {
+		t.Fatalf("reduction %.2f, want 0.90", got)
+	}
+}
+
+func TestDeleteAbsorption(t *testing.T) {
+	b, _, sink := newBuffer(t, 1<<20, 0, EvictLRW)
+	for blk := int64(0); blk < 4; blk++ {
+		if err := b.Write(Key{Object: 7, Block: blk}, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Write(Key{Object: 8, Block: 0}, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	b.InvalidateObject(7)
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.bytes != 100 {
+		t.Fatalf("sink got %d bytes, want only the surviving file's 100", sink.bytes)
+	}
+	if s := b.Stats(); s.DeleteAbsorbedBytes != 4*4096 {
+		t.Fatalf("delete absorbed %d", s.DeleteAbsorbedBytes)
+	}
+}
+
+func TestInvalidateBlock(t *testing.T) {
+	b, _, sink := newBuffer(t, 1<<20, 0, EvictLRW)
+	if err := b.Write(Key{1, 0}, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(Key{1, 1}, []byte("drop")); err != nil {
+		t.Fatal(err)
+	}
+	b.InvalidateBlock(Key{1, 1})
+	if _, ok := b.Read(Key{1, 1}); ok {
+		t.Fatal("invalidated block still readable")
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if string(sink.blocks[Key{1, 0}]) != "keep" || sink.blocks[Key{1, 1}] != nil {
+		t.Fatal("wrong blocks flushed")
+	}
+}
+
+func TestCapacityEvictionLRW(t *testing.T) {
+	// Capacity of two blocks; writing three distinct blocks evicts the
+	// least recently written.
+	b, _, sink := newBuffer(t, 2*4096, 0, EvictLRW)
+	for blk := int64(0); blk < 2; blk++ {
+		if err := b.Write(Key{1, blk}, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch block 0 so block 1 becomes least recently written.
+	if err := b.Write(Key{1, 0}, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(Key{1, 2}, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, flushed := sink.blocks[Key{1, 1}]; !flushed {
+		t.Fatal("LRW should have evicted block 1")
+	}
+	if _, stillIn := b.Read(Key{1, 0}); !stillIn {
+		t.Fatal("recently written block evicted")
+	}
+	if b.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", b.Stats().Evictions)
+	}
+}
+
+func TestCapacityEvictionFIFO(t *testing.T) {
+	b, _, sink := newBuffer(t, 2*4096, 0, EvictFIFO)
+	for blk := int64(0); blk < 2; blk++ {
+		if err := b.Write(Key{1, blk}, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touching block 0 does not save it under FIFO: it has been dirty
+	// longest.
+	if err := b.Write(Key{1, 0}, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(Key{1, 2}, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, flushed := sink.blocks[Key{1, 0}]; !flushed {
+		t.Fatal("FIFO should have evicted the oldest-dirty block 0")
+	}
+}
+
+func TestDaemonFlushByAge(t *testing.T) {
+	b, clock, sink := newBuffer(t, 1<<20, 30*sim.Second, EvictLRW)
+	if err := b.Write(Key{1, 0}, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(20 * sim.Second)
+	if err := b.Write(Key{1, 1}, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(15 * sim.Second) // first block now 35s old, second 15s
+	if err := b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sink.blocks[Key{1, 0}]; !ok {
+		t.Fatal("aged block not flushed by daemon")
+	}
+	if _, ok := sink.blocks[Key{1, 1}]; ok {
+		t.Fatal("young block flushed early")
+	}
+	if b.Stats().DaemonFlushes != 1 {
+		t.Fatalf("daemon flushes = %d", b.Stats().DaemonFlushes)
+	}
+}
+
+func TestOverwriteDoesNotResetDirtyAge(t *testing.T) {
+	// The 30-second promise is from first dirtying, or data could dodge
+	// stable storage forever by being rewritten every 29s.
+	b, clock, sink := newBuffer(t, 1<<20, 30*sim.Second, EvictLRW)
+	if err := b.Write(Key{1, 0}, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(25 * sim.Second)
+	if err := b.Write(Key{1, 0}, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(6 * sim.Second)
+	if err := b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.blocks[Key{1, 0}]; string(got) != "v2" {
+		t.Fatalf("daemon should flush v2 at 31s from first dirty; got %q", got)
+	}
+}
+
+func TestTickWithoutDelayIsNoop(t *testing.T) {
+	b, clock, sink := newBuffer(t, 1<<20, 0, EvictLRW)
+	if err := b.Write(Key{1, 0}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(sim.Hour)
+	if err := b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.calls != 0 {
+		t.Fatal("Tick flushed with zero delay configured")
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	b, _, _ := newBuffer(t, 1<<20, 0, EvictLRW)
+	if err := b.Write(Key{1, 0}, make([]byte, 8192)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized block: %v", err)
+	}
+}
+
+func TestSinkErrorPropagates(t *testing.T) {
+	clock := sim.NewClock()
+	sink := newCountingSink()
+	sink.err = errors.New("boom")
+	b, err := New(Config{CapacityBytes: 4096, BlockBytes: 4096}, clock, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(Key{1, 0}, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(Key{1, 1}, make([]byte, 4096)); err == nil {
+		t.Fatal("eviction flush error swallowed")
+	}
+}
+
+func TestWriteCopiesData(t *testing.T) {
+	b, _, _ := newBuffer(t, 1<<20, 0, EvictLRW)
+	data := []byte("mutable")
+	if err := b.Write(Key{1, 0}, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	got, _ := b.Read(Key{1, 0})
+	if got[0] != 'm' {
+		t.Fatal("buffer aliased caller data")
+	}
+}
+
+func TestSyncEmptiesBuffer(t *testing.T) {
+	b, _, _ := newBuffer(t, 1<<20, 0, EvictLRW)
+	for i := int64(0); i < 10; i++ {
+		if err := b.Write(Key{uint64(i % 3), i}, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 || b.Size() != 0 {
+		t.Fatalf("after Sync: Len=%d Size=%d", b.Len(), b.Size())
+	}
+}
+
+// Property: buffer + sink together always hold exactly the last write for
+// every key (buffer wins over sink), and accounting balances:
+// host = flushed + absorbed + still-buffered.
+func TestBufferModelProperty(t *testing.T) {
+	type op struct {
+		Obj    uint8
+		Blk    uint8
+		Val    byte
+		Delete bool
+	}
+	f := func(ops []op, capBlocks uint8) bool {
+		clock := sim.NewClock()
+		sink := newCountingSink()
+		b, err := New(Config{
+			CapacityBytes: (int64(capBlocks%8) + 1) * 64,
+			BlockBytes:    64,
+		}, clock, sink)
+		if err != nil {
+			return false
+		}
+		model := map[Key][]byte{}
+		for _, o := range ops {
+			clock.Advance(sim.Millisecond)
+			key := Key{Object: uint64(o.Obj % 4), Block: int64(o.Blk % 4)}
+			if o.Delete {
+				b.InvalidateObject(key.Object)
+				for k := range model {
+					if k.Object == key.Object {
+						delete(model, k)
+					}
+				}
+				continue
+			}
+			data := bytes.Repeat([]byte{o.Val}, 64)
+			if err := b.Write(key, data); err != nil {
+				return false
+			}
+			model[key] = data
+		}
+		// Verify reads see the model through buffer-then-sink.
+		for k, want := range model {
+			got, ok := b.Read(k)
+			if !ok {
+				got, ok = sink.blocks[k], sink.blocks[k] != nil
+			}
+			if !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		s := b.Stats()
+		accounted := s.FlushedBytes + s.OverwriteAbsorbedBytes + s.DeleteAbsorbedBytes + b.Size()
+		return accounted == s.HostBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
