@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -18,6 +19,7 @@ import (
 
 	"ssmobile/internal/core"
 	"ssmobile/internal/fs"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -47,6 +49,15 @@ type shell struct {
 }
 
 func main() {
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+	traceOut := flag.String("trace-out", "", "write the op-span trace in Chrome trace_event format to this file")
+	traceJSONL := flag.String("trace-jsonl", "", "write the op-span trace as JSON lines to this file")
+	traceCap := flag.Int("trace-cap", 0, "span ring-buffer capacity (0 = default 65536)")
+	flag.Parse()
+
+	o := obs.New(*traceCap)
+	obs.SetDefault(o)
+
 	sys, err := core.NewSolidState(core.SolidStateConfig{
 		DRAMBytes:  8 << 20,
 		FlashBytes: 32 << 20,
@@ -62,18 +73,22 @@ func main() {
 		fmt.Print("ssmfs> ")
 		if !sc.Scan() {
 			fmt.Println()
-			return
+			break
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		if line == "exit" || line == "quit" {
-			return
+			break
 		}
 		if err := sh.run(line); err != nil {
 			fmt.Fprintln(os.Stdout, "error:", err)
 		}
+	}
+	if err := obs.DumpFiles(o, *metricsOut, *traceOut, *traceJSONL); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfs:", err)
+		os.Exit(1)
 	}
 }
 

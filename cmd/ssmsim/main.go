@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	ssmsim [-seed N] all                        run every experiment
-//	ssmsim [-seed N] e1 e3 ...                  run selected experiments
+//	ssmsim [-seed N] [-metrics FILE] [-trace-out FILE] [-trace-jsonl FILE] all
+//	                                            run every experiment
+//	ssmsim [flags] e1 e3 ...                    run selected experiments
 //	ssmsim list                                 list experiment ids
 //	ssmsim replay -trace FILE [-system solid|disk|both]
 //	                                            replay a trace (see ssmtrace)
 //
-// See DESIGN.md for the experiment index and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// -metrics dumps every layer's counters, gauges and histograms as JSON;
+// -trace-out writes the retained op spans in Chrome trace_event format
+// (open in chrome://tracing or https://ui.perfetto.dev); -trace-jsonl
+// writes them as JSON lines. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
@@ -20,15 +24,21 @@ import (
 	"os"
 
 	"ssmobile/internal/core"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/trace"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1993, "workload seed (experiments are deterministic per seed)")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+	traceOut := flag.String("trace-out", "", "write the op-span trace in Chrome trace_event format to this file")
+	traceJSONL := flag.String("trace-jsonl", "", "write the op-span trace as JSON lines to this file")
+	traceCap := flag.Int("trace-cap", 0, "span ring-buffer capacity (0 = default 65536; oldest spans drop first)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ssmsim [-seed N] all | list | <experiment id>...\n")
+		fmt.Fprintf(os.Stderr, "usage: ssmsim [flags] all | list | replay ... | <experiment id>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", core.ExperimentIDs())
+		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
@@ -36,56 +46,61 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if args[0] == "list" {
+
+	// Every layer built anywhere in the process reports here.
+	o := obs.New(*traceCap)
+	obs.SetDefault(o)
+
+	var err error
+	switch args[0] {
+	case "list":
+		desc := core.Descriptions()
 		for _, id := range core.ExperimentIDs() {
-			fmt.Println(id)
+			fmt.Printf("%-4s %s\n", id, desc[id])
 		}
-		return
-	}
-	if args[0] == "replay" {
-		replay(args[1:])
-		return
-	}
-	if args[0] == "all" {
-		if err := core.RunAll(os.Stdout, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "ssmsim:", err)
-			os.Exit(1)
+	case "replay":
+		err = replay(args[1:])
+	case "all":
+		err = core.RunAll(os.Stdout, *seed)
+	default:
+		for _, id := range args {
+			if err = core.RunExperiment(os.Stdout, id, *seed); err != nil {
+				break
+			}
 		}
-		return
 	}
-	for _, id := range args {
-		if err := core.RunExperiment(os.Stdout, id, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "ssmsim:", err)
-			os.Exit(1)
-		}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmsim:", err)
+		os.Exit(1)
+	}
+	if err := obs.DumpFiles(o, *metricsOut, *traceOut, *traceJSONL); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmsim:", err)
+		os.Exit(1)
 	}
 }
 
 // replay runs a trace file against one or both storage organisations and
 // prints a latency/energy summary.
-func replay(args []string) {
+func replay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	traceFile := fs.String("trace", "", "trace file (ssmtrace format; required)")
 	system := fs.String("system", "both", "solid, disk, or both")
 	dramMB := fs.Int64("dram", 16, "DRAM size in MB")
 	secondaryMB := fs.Int64("secondary", 64, "flash/disk size in MB")
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return err
 	}
 	if *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "ssmsim replay: -trace is required")
-		os.Exit(2)
+		return fmt.Errorf("replay: -trace is required")
 	}
 	f, err := os.Open(*traceFile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssmsim:", err)
-		os.Exit(1)
+		return err
 	}
 	tr, err := trace.ReadTrace(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssmsim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	var systems []core.System
@@ -95,28 +110,24 @@ func replay(args []string) {
 			RBoxBytes: 4 << 20, SnapshotEvery: 2048,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ssmsim:", err)
-			os.Exit(1)
+			return err
 		}
 		systems = append(systems, s)
 	}
 	if *system == "disk" || *system == "both" {
 		d, err := core.NewDisk(core.DiskConfig{DRAMBytes: *dramMB << 20, DiskBytes: *secondaryMB << 20})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ssmsim:", err)
-			os.Exit(1)
+			return err
 		}
 		systems = append(systems, d)
 	}
 	if len(systems) == 0 {
-		fmt.Fprintf(os.Stderr, "ssmsim: unknown -system %q\n", *system)
-		os.Exit(2)
+		return fmt.Errorf("replay: unknown -system %q", *system)
 	}
 	for _, sys := range systems {
 		st, err := core.Replay(sys, tr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ssmsim: %s: %v\n", sys.Name(), err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", sys.Name(), err)
 		}
 		fmt.Printf("%s:\n", sys.Name())
 		fmt.Printf("  ops %d, wrote %.1fMB, read %.1fMB over %v\n",
@@ -127,4 +138,5 @@ func replay(args []string) {
 			sim.Duration(st.WriteLatency.Mean()), sim.Duration(st.WriteLatency.Quantile(0.99)))
 		fmt.Printf("  energy %v\n", st.EnergyTotal)
 	}
+	return nil
 }

@@ -4,13 +4,14 @@
 // Usage:
 //
 //	ssmtrace gen [-kind baker|blocks] [-minutes M] [-seed N] [-o FILE]
-//	ssmtrace stats [FILE]
+//	ssmtrace stats [-metrics FILE] [FILE]
 //
 // Generated traces use the text format of internal/trace: one operation
 // per line, "<time-ns> <kind> <file> <offset> <size>".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,7 +37,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ssmtrace gen [-kind baker|blocks] [-minutes M] [-seed N] [-o FILE]")
-	fmt.Fprintln(os.Stderr, "       ssmtrace stats [FILE]")
+	fmt.Fprintln(os.Stderr, "       ssmtrace stats [-metrics FILE] [FILE]")
 	os.Exit(2)
 }
 
@@ -92,9 +93,14 @@ func gen(args []string) {
 }
 
 func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	metricsOut := fs.String("metrics", "", "also write the stats as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
 	var r io.Reader = os.Stdin
-	if len(args) > 0 {
-		f, err := os.Open(args[0])
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
 			os.Exit(1)
@@ -115,4 +121,22 @@ func stats(args []string) {
 	fmt.Printf("  deletes:     %d\n", s.Deletes)
 	fmt.Printf("unique files:  %d\n", s.UniqueFiles)
 	fmt.Printf("duration:      %v\n", s.Duration)
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
+			os.Exit(1)
+		}
+	}
 }

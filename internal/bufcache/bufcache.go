@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ssmobile/internal/dram"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -41,6 +42,9 @@ type Config struct {
 	// WriteBackDelay is the age at which dirty blocks are flushed by
 	// Tick; zero keeps them until eviction or Sync.
 	WriteBackDelay sim.Duration
+	// Obs receives the cache's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 // Stats aggregates cache counters.
@@ -81,9 +85,10 @@ type Cache struct {
 	freeSlots []int
 	slots     int
 
-	hits, misses, readBlocks     sim.Counter
-	writtenBlocks, flushedBlocks sim.Counter
-	writeThroughs, evictions     sim.Counter
+	obs                          *obs.Observer
+	hits, misses, readBlocks     *obs.Counter
+	writtenBlocks, flushedBlocks *obs.Counter
+	writeThroughs, evictions     *obs.Counter
 }
 
 // New builds an empty cache over backing.
@@ -94,14 +99,25 @@ func New(cfg Config, clock *sim.Clock, dramDev *dram.Device, backing Backing) (*
 	if cfg.DRAMBase < 0 || cfg.DRAMBase+cfg.DRAMBytes > dramDev.Capacity() {
 		return nil, fmt.Errorf("bufcache: region outside DRAM")
 	}
+	o := obs.Or(cfg.Obs)
+	lbl := obs.Labels{"layer": "bufcache"}
+	blk := func(op string) obs.Labels { return obs.Labels{"layer": "bufcache", "op": op} }
 	c := &Cache{
-		cfg:     cfg,
-		clock:   clock,
-		dram:    dramDev,
-		backing: backing,
-		entries: make(map[int64]*centry),
-		lru:     list.New(),
-		slots:   int(cfg.DRAMBytes / int64(cfg.BlockBytes)),
+		cfg:           cfg,
+		clock:         clock,
+		dram:          dramDev,
+		backing:       backing,
+		entries:       make(map[int64]*centry),
+		lru:           list.New(),
+		slots:         int(cfg.DRAMBytes / int64(cfg.BlockBytes)),
+		obs:           o,
+		hits:          o.Counter("cache_hits_total", lbl),
+		misses:        o.Counter("cache_misses_total", lbl),
+		readBlocks:    o.Counter("blocks_total", blk("read")),
+		writtenBlocks: o.Counter("blocks_total", blk("write")),
+		flushedBlocks: o.Counter("blocks_total", blk("flush")),
+		writeThroughs: o.Counter("blocks_total", blk("write_through")),
+		evictions:     o.Counter("evictions_total", lbl),
 	}
 	for s := c.slots - 1; s >= 0; s-- {
 		c.freeSlots = append(c.freeSlots, s)
@@ -151,8 +167,16 @@ func (c *Cache) allocSlot() (int, error) {
 	return e.slot, nil
 }
 
+// span opens an op span against the cache's clock and the DRAM device's
+// energy meter (shared with the backing disk in assembled systems).
+func (c *Cache) span(op string) obs.SpanRef {
+	return c.obs.Span(c.clock, c.dram.Meter(), "bufcache", op)
+}
+
 // flushEntry writes the entry's contents to the backing device.
-func (c *Cache) flushEntry(e *centry) error {
+func (c *Cache) flushEntry(e *centry) (err error) {
+	sp := c.span("flush")
+	defer func() { sp.End(int64(c.cfg.BlockBytes), err) }()
 	buf := make([]byte, c.cfg.BlockBytes)
 	if _, err := c.dram.Read(c.slotAddr(e.slot), buf); err != nil {
 		return err
@@ -193,10 +217,12 @@ func (c *Cache) load(bn int64, fill bool) (*centry, error) {
 }
 
 // ReadBlock fetches block bn into buf (one block).
-func (c *Cache) ReadBlock(bn int64, buf []byte) error {
+func (c *Cache) ReadBlock(bn int64, buf []byte) (err error) {
 	if err := c.checkBlock(bn); err != nil {
 		return err
 	}
+	sp := c.span("read_block")
+	defer func() { sp.End(int64(len(buf)), err) }()
 	e, err := c.load(bn, true)
 	if err != nil {
 		return err
@@ -221,13 +247,15 @@ func (c *Cache) WriteBlockThrough(bn int64, data []byte) error {
 	return c.writeBlock(bn, data, true)
 }
 
-func (c *Cache) writeBlock(bn int64, data []byte, through bool) error {
+func (c *Cache) writeBlock(bn int64, data []byte, through bool) (err error) {
 	if err := c.checkBlock(bn); err != nil {
 		return err
 	}
 	if len(data) > c.cfg.BlockBytes {
 		return fmt.Errorf("bufcache: data of %d exceeds block size %d", len(data), c.cfg.BlockBytes)
 	}
+	sp := c.span("write_block")
+	defer func() { sp.End(int64(len(data)), err) }()
 	// Partial block writes need the old contents under them.
 	fill := len(data) < c.cfg.BlockBytes
 	e, err := c.load(bn, fill)

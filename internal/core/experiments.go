@@ -32,7 +32,11 @@ func Registry(seed int64) map[string]Runner {
 			if err != nil {
 				return nil, err
 			}
-			return []*Table{a, b}, nil
+			c, err := E1FullStack()
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{a, b, c}, nil
 		},
 		"e2": one(E2CostCrossover),
 		"e3": func() ([]*Table, error) {
@@ -91,6 +95,23 @@ func Registry(seed int64) map[string]Runner {
 			return []*Table{a, b}, nil
 		},
 		"e10": func() ([]*Table, error) { return E10CrashAndBattery(seed) },
+	}
+}
+
+// Descriptions maps each experiment id to a one-line summary, for the
+// CLI's list subcommand.
+func Descriptions() map[string]string {
+	return map[string]string{
+		"e1":  "device comparison (§2): DRAM/flash/disk latency, cost, power, plus battery life and full-stack context",
+		"e2":  "technology trends (§2): cost and density crossovers, 40MB flash vs disk by ~1996",
+		"e3":  "write buffering (§3.3): battery-backed DRAM buffer absorbing 40-50% of write traffic",
+		"e4":  "read in place (§3.3): serving reads from flash without copying into DRAM",
+		"e5":  "execute in place (§3.2): XIP from the code card vs demand paging from disk",
+		"e6":  "wear leveling (§3.3): cleaning policies, device lifetime, static leveling",
+		"e7":  "banking and segregation (§3.3): parallel banks hiding erase latency, hot/cold separation",
+		"e8":  "sizing (§3.3): DRAM buffer size against write-traffic reduction",
+		"e9":  "end to end (§4): file workloads on the full solid-state vs disk organisations",
+		"e10": "crash recovery and battery (§3.1): recovery box after crashes and power failures",
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/trace"
 )
@@ -36,14 +37,27 @@ func payload(buf []byte, file trace.FileID, off int64) {
 // to each operation's timestamp and pumping the write-back daemons along
 // the way. It does not Sync at the end; callers decide whether the
 // experiment's accounting should include a final flush.
+//
+// Each operation's latency lands both in the returned per-replay
+// histograms and in the default observer's op_latency_ns aggregates, and
+// each op is traced as a span of layer "replay".
 func Replay(sys System, tr *trace.Trace) (ReplayStats, error) {
+	o := obs.Default()
+	hist := func(op string) *obs.Histogram {
+		return o.Histogram("op_latency_ns", obs.Labels{"layer": "replay", "op": op})
+	}
+	readH := hist("read")
+	writeH := hist("write")
+	createH := hist("create")
+	removeH := hist("remove")
 	st := ReplayStats{
-		ReadLatency:   sim.NewHistogram("read-ns"),
-		WriteLatency:  sim.NewHistogram("write-ns"),
-		CreateLatency: sim.NewHistogram("create-ns"),
-		RemoveLatency: sim.NewHistogram("remove-ns"),
+		ReadLatency:   readH.Sim(),
+		WriteLatency:  writeH.Sim(),
+		CreateLatency: createH.Sim(),
+		RemoveLatency: removeH.Sim(),
 	}
 	clock := sys.Clock()
+	meter := sys.Meter()
 	start := clock.Now()
 	scratch := make([]byte, 256*1024)
 	for _, op := range tr.Ops {
@@ -57,30 +71,42 @@ func Replay(sys System, tr *trace.Trace) (ReplayStats, error) {
 		name := fileName(op.File)
 		switch op.Kind {
 		case trace.Create:
+			sp := o.Span(clock, meter, "replay", "create")
 			if err := sys.Create(name); err != nil {
+				sp.End(0, err)
 				return st, fmt.Errorf("create %s: %w", name, err)
 			}
-			st.CreateLatency.ObserveDuration(clock.Now().Sub(opStart))
+			sp.End(0, nil)
+			createH.ObserveDuration(clock.Now().Sub(opStart))
 		case trace.Write:
 			buf := scratch[:op.Size]
 			payload(buf, op.File, op.Offset)
+			sp := o.Span(clock, meter, "replay", "write")
 			if _, err := sys.WriteAt(name, op.Offset, buf); err != nil {
+				sp.End(0, err)
 				return st, fmt.Errorf("write %s: %w", name, err)
 			}
+			sp.End(int64(op.Size), nil)
 			st.BytesWritten += int64(op.Size)
-			st.WriteLatency.ObserveDuration(clock.Now().Sub(opStart))
+			writeH.ObserveDuration(clock.Now().Sub(opStart))
 		case trace.Read:
 			buf := scratch[:op.Size]
+			sp := o.Span(clock, meter, "replay", "read")
 			if _, err := sys.ReadAt(name, op.Offset, buf); err != nil {
+				sp.End(0, err)
 				return st, fmt.Errorf("read %s: %w", name, err)
 			}
+			sp.End(int64(op.Size), nil)
 			st.BytesRead += int64(op.Size)
-			st.ReadLatency.ObserveDuration(clock.Now().Sub(opStart))
+			readH.ObserveDuration(clock.Now().Sub(opStart))
 		case trace.Delete:
+			sp := o.Span(clock, meter, "replay", "remove")
 			if err := sys.Remove(name); err != nil {
+				sp.End(0, err)
 				return st, fmt.Errorf("remove %s: %w", name, err)
 			}
-			st.RemoveLatency.ObserveDuration(clock.Now().Sub(opStart))
+			sp.End(0, nil)
+			removeH.ObserveDuration(clock.Now().Sub(opStart))
 		}
 		st.Ops++
 	}

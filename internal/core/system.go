@@ -18,6 +18,7 @@ import (
 	"ssmobile/internal/flash"
 	"ssmobile/internal/fs"
 	"ssmobile/internal/ftl"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/storman"
 	"ssmobile/internal/vm"
@@ -89,6 +90,9 @@ type SolidStateConfig struct {
 	// FlashParams and DRAMParams override the device catalog entries.
 	FlashParams *device.Params
 	DRAMParams  *device.Params
+	// Obs receives every layer's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 func (c *SolidStateConfig) applyDefaults() {
@@ -144,6 +148,9 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 	cfg.applyDefaults()
 	clock := sim.NewClock()
 	meter := sim.NewEnergyMeter()
+	o := obs.Or(cfg.Obs)
+	o.GaugeFunc("dropped_negative_charges", obs.Labels{"layer": "core", "system": "solid-state"},
+		func() float64 { return float64(meter.DroppedNegativeCharges()) })
 
 	dramParams := device.NECDram
 	if cfg.DRAMParams != nil {
@@ -154,7 +161,7 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 		flashParams = *cfg.FlashParams
 	}
 
-	dr, err := dram.New(dram.Config{CapacityBytes: cfg.DRAMBytes, Params: dramParams}, clock, meter)
+	dr, err := dram.New(dram.Config{CapacityBytes: cfg.DRAMBytes, Params: dramParams, Obs: o}, clock, meter)
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +179,7 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 		// mapping survives power loss and remounts by device scan.
 		SpareUnitBytes: cfg.BlockBytes,
 		SpareBytes:     ftl.OOBRecordBytes,
+		Obs:            o,
 	}, clock, meter)
 	if err != nil {
 		return nil, err
@@ -189,6 +197,7 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 		DRAMBase:       cfg.RBoxBytes,
 		DRAMBytes:      cfg.BufferBytes,
 		WriteBackDelay: cfg.WriteBackDelay,
+		Obs:            o,
 	}, clock, dr, fl)
 	if err != nil {
 		return nil, err
@@ -197,6 +206,7 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 		RBoxBase:      0,
 		RBoxBytes:     cfg.RBoxBytes,
 		SnapshotEvery: cfg.SnapshotEvery,
+		Obs:           o,
 	}, clock, sm, dr)
 	if err != nil {
 		return nil, err
@@ -211,6 +221,7 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 		BlockBytes:    cfg.EraseBlockBytes,
 		Params:        flashParams,
 		MeterCategory: "flash-code",
+		Obs:           o,
 	}, clock, meter)
 	if err != nil {
 		return nil, err
@@ -220,6 +231,7 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 		PageBytes: cfg.BlockBytes,
 		DRAMBase:  frameBase,
 		DRAMBytes: cfg.DRAMBytes - frameBase,
+		Obs:       o,
 	}, clock, dr, code)
 	if err != nil {
 		return nil, err
@@ -282,6 +294,7 @@ func ftlConfig(cfg SolidStateConfig) ftl.Config {
 		HotCold:         cfg.HotCold,
 		BackgroundErase: true,
 		PersistMapping:  cfg.Policy != ftl.PolicyDirect,
+		Obs:             cfg.Obs,
 	}
 }
 
@@ -307,6 +320,7 @@ func (s *SolidStateSystem) RemountAfterPowerFailure() (*SolidStateSystem, error)
 		DRAMBase:       s.cfg.RBoxBytes,
 		DRAMBytes:      s.cfg.BufferBytes,
 		WriteBackDelay: s.cfg.WriteBackDelay,
+		Obs:            s.cfg.Obs,
 	}, s.clock, s.DRAM, fl)
 	if err != nil {
 		return nil, err
@@ -315,6 +329,7 @@ func (s *SolidStateSystem) RemountAfterPowerFailure() (*SolidStateSystem, error)
 		RBoxBase:      0,
 		RBoxBytes:     s.cfg.RBoxBytes,
 		SnapshotEvery: s.cfg.SnapshotEvery,
+		Obs:           s.cfg.Obs,
 	}, s.clock, sm, s.DRAM)
 	if err != nil {
 		return nil, err
@@ -324,6 +339,7 @@ func (s *SolidStateSystem) RemountAfterPowerFailure() (*SolidStateSystem, error)
 		PageBytes: s.cfg.BlockBytes,
 		DRAMBase:  frameBase,
 		DRAMBytes: s.cfg.DRAMBytes - frameBase,
+		Obs:       s.cfg.Obs,
 	}, s.clock, s.DRAM, s.CodeCard)
 	if err != nil {
 		return nil, err
@@ -400,6 +416,9 @@ type DiskConfig struct {
 	InodeBlocks int64
 	// DiskParams overrides the drive model (default KittyHawk).
 	DiskParams *device.Params
+	// Obs receives every layer's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 func (c *DiskConfig) applyDefaults() {
@@ -441,7 +460,10 @@ func NewDisk(cfg DiskConfig) (*DiskSystem, error) {
 	cfg.applyDefaults()
 	clock := sim.NewClock()
 	meter := sim.NewEnergyMeter()
-	dr, err := dram.New(dram.Config{CapacityBytes: cfg.DRAMBytes, Params: device.NECDram}, clock, meter)
+	o := obs.Or(cfg.Obs)
+	o.GaugeFunc("dropped_negative_charges", obs.Labels{"layer": "core", "system": "disk"},
+		func() float64 { return float64(meter.DroppedNegativeCharges()) })
+	dr, err := dram.New(dram.Config{CapacityBytes: cfg.DRAMBytes, Params: device.NECDram, Obs: o}, clock, meter)
 	if err != nil {
 		return nil, err
 	}
@@ -453,6 +475,7 @@ func NewDisk(cfg DiskConfig) (*DiskSystem, error) {
 		CapacityBytes:   cfg.DiskBytes,
 		Params:          diskParams,
 		SpindownTimeout: cfg.SpindownTimeout,
+		Obs:             o,
 	}, clock, meter)
 	if err != nil {
 		return nil, err
@@ -462,6 +485,7 @@ func NewDisk(cfg DiskConfig) (*DiskSystem, error) {
 		DRAMBase:       0,
 		DRAMBytes:      cfg.CacheBytes,
 		WriteBackDelay: cfg.WriteBackDelay,
+		Obs:            o,
 	}, clock, dr, dk)
 	if err != nil {
 		return nil, err

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ssmobile/internal/device"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -40,6 +41,9 @@ type Config struct {
 	SpindownTimeout sim.Duration
 	// MeterCategory defaults to "disk".
 	MeterCategory string
+	// Obs receives the drive's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 // Validate checks the configuration.
@@ -82,10 +86,11 @@ type Device struct {
 	lastEnd     sim.Time // when the last operation finished
 	lastCharged sim.Time // power charged through this instant
 
-	reads, writes           sim.Counter
-	bytesRead, bytesWritten sim.Counter
-	seekNs, rotateNs        sim.Counter
-	spinups                 sim.Counter
+	obs                     *obs.Observer
+	reads, writes           *obs.Counter
+	bytesRead, bytesWritten *obs.Counter
+	seekNs, rotateNs        *obs.Counter
+	spinups                 *obs.Counter
 }
 
 // New builds a drive with zeroed media, head at cylinder 0, spinning.
@@ -103,12 +108,24 @@ func New(cfg Config, clock *sim.Clock, meter *sim.EnergyMeter) (*Device, error) 
 		return nil, err
 	}
 	cyls := int(cfg.CapacityBytes / int64(cfg.bytesPerCylinderRaw()))
+	o := obs.Or(cfg.Obs)
+	lbl := func(op string) obs.Labels {
+		return obs.Labels{"layer": "disk", "device": cfg.MeterCategory, "op": op}
+	}
 	return &Device{
-		cfg:       cfg,
-		clock:     clock,
-		meter:     meter,
-		data:      make([]byte, int64(cyls)*int64(cfg.bytesPerCylinderRaw())),
-		cylinders: cyls,
+		cfg:          cfg,
+		clock:        clock,
+		meter:        meter,
+		data:         make([]byte, int64(cyls)*int64(cfg.bytesPerCylinderRaw())),
+		cylinders:    cyls,
+		obs:          o,
+		reads:        o.Counter("ops_total", lbl("read")),
+		writes:       o.Counter("ops_total", lbl("write")),
+		bytesRead:    o.Counter("bytes_total", lbl("read")),
+		bytesWritten: o.Counter("bytes_total", lbl("write")),
+		seekNs:       o.Counter("seek_ns_total", lbl("access")),
+		rotateNs:     o.Counter("rotate_ns_total", lbl("access")),
+		spinups:      o.Counter("spinups_total", obs.Labels{"layer": "disk", "device": cfg.MeterCategory}),
 	}, nil
 }
 
@@ -221,6 +238,8 @@ func (d *Device) Read(addr int64, buf []byte) (sim.Duration, error) {
 	if err := d.checkRange(addr, len(buf)); err != nil {
 		return 0, err
 	}
+	sp := d.obs.Span(d.clock, d.meter, "disk", "read")
+	defer sp.End(int64(len(buf)), nil)
 	lat := d.access(addr, len(buf))
 	copy(buf, d.data[addr:addr+int64(len(buf))])
 	d.reads.Inc()
@@ -233,6 +252,8 @@ func (d *Device) Write(addr int64, p []byte) (sim.Duration, error) {
 	if err := d.checkRange(addr, len(p)); err != nil {
 		return 0, err
 	}
+	sp := d.obs.Span(d.clock, d.meter, "disk", "write")
+	defer sp.End(int64(len(p)), nil)
 	lat := d.access(addr, len(p))
 	copy(d.data[addr:], p)
 	d.writes.Inc()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"ssmobile/internal/device"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -40,6 +41,9 @@ type Config struct {
 	// MeterCategory is the energy-meter category charged; defaults to
 	// "dram".
 	MeterCategory string
+	// Obs receives the device's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 // Validate checks the configuration.
@@ -65,13 +69,14 @@ type Device struct {
 	cfg   Config
 	clock *sim.Clock
 	meter *sim.EnergyMeter
+	obs   *obs.Observer
 
 	data []byte
 	lost bool
 
-	reads, writes           sim.Counter
-	bytesRead, bytesWritten sim.Counter
-	powerFailures           sim.Counter
+	reads, writes           *obs.Counter
+	bytesRead, bytesWritten *obs.Counter
+	powerFailures           *obs.Counter
 	lastIdleCharge          sim.Time
 }
 
@@ -83,11 +88,21 @@ func New(cfg Config, clock *sim.Clock, meter *sim.EnergyMeter) (*Device, error) 
 	if cfg.MeterCategory == "" {
 		cfg.MeterCategory = "dram"
 	}
+	o := obs.Or(cfg.Obs)
+	lbl := func(op string) obs.Labels {
+		return obs.Labels{"layer": "dram", "device": cfg.MeterCategory, "op": op}
+	}
 	return &Device{
-		cfg:   cfg,
-		clock: clock,
-		meter: meter,
-		data:  make([]byte, cfg.CapacityBytes),
+		cfg:           cfg,
+		clock:         clock,
+		meter:         meter,
+		obs:           o,
+		data:          make([]byte, cfg.CapacityBytes),
+		reads:         o.Counter("ops_total", lbl("read")),
+		writes:        o.Counter("ops_total", lbl("write")),
+		bytesRead:     o.Counter("bytes_total", lbl("read")),
+		bytesWritten:  o.Counter("bytes_total", lbl("write")),
+		powerFailures: o.Counter("power_failures_total", obs.Labels{"layer": "dram", "device": cfg.MeterCategory}),
 	}, nil
 }
 
@@ -96,6 +111,10 @@ func (d *Device) Capacity() int64 { return d.cfg.CapacityBytes }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// Meter returns the energy meter the device charges, so layers above can
+// attribute span energy without threading the meter separately.
+func (d *Device) Meter() *sim.EnergyMeter { return d.meter }
 
 func (d *Device) checkRange(addr int64, n int) error {
 	if addr < 0 || n < 0 || addr+int64(n) > d.Capacity() {
@@ -106,6 +125,11 @@ func (d *Device) checkRange(addr int64, n int) error {
 
 func (d *Device) activePower() float64 {
 	return d.cfg.Params.ActiveMilliwattsPerMB * float64(d.Capacity()) / (1 << 20)
+}
+
+// span opens an op span against this array's clock and meter.
+func (d *Device) span(op string) obs.SpanRef {
+	return d.obs.Span(d.clock, d.meter, "dram", op)
 }
 
 // IdleMilliwatts reports the self-refresh draw of the whole array — the
@@ -123,6 +147,8 @@ func (d *Device) Read(addr int64, buf []byte) (sim.Duration, error) {
 	if err := d.checkRange(addr, len(buf)); err != nil {
 		return 0, err
 	}
+	sp := d.span("read")
+	defer sp.End(int64(len(buf)), nil)
 	dur := sim.Duration(d.cfg.Params.ReadLatencyNs(len(buf)))
 	d.clock.Advance(dur)
 	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
@@ -140,6 +166,8 @@ func (d *Device) Write(addr int64, p []byte) (sim.Duration, error) {
 	if err := d.checkRange(addr, len(p)); err != nil {
 		return 0, err
 	}
+	sp := d.span("write")
+	defer sp.End(int64(len(p)), nil)
 	dur := sim.Duration(d.cfg.Params.WriteLatencyNs(len(p)))
 	d.clock.Advance(dur)
 	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))

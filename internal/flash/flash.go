@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"ssmobile/internal/device"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -65,6 +66,9 @@ type Config struct {
 	// SpareBytes disables the spare area.
 	SpareUnitBytes int
 	SpareBytes     int
+	// Obs receives the device's metrics and op spans; nil falls back to
+	// obs.Default() (which may itself be nil — telemetry off).
+	Obs *obs.Observer
 }
 
 // Validate checks the configuration for internal consistency.
@@ -104,6 +108,7 @@ type Device struct {
 	cfg   Config
 	clock *sim.Clock
 	meter *sim.EnergyMeter
+	obs   *obs.Observer
 
 	data       []byte
 	spare      []byte // OOB area, SpareBytes per SpareUnitBytes of main
@@ -111,9 +116,9 @@ type Device struct {
 	wornOut    []bool
 	busyUntil  []sim.Time // per bank
 
-	reads, programs, erases sim.Counter
-	bytesRead, bytesProg    sim.Counter
-	readStallNs             sim.Counter
+	reads, programs, erases *obs.Counter
+	bytesRead, bytesProg    *obs.Counter
+	readStallNs             *obs.Counter
 	lastIdleCharge          sim.Time
 }
 
@@ -125,14 +130,25 @@ func New(cfg Config, clock *sim.Clock, meter *sim.EnergyMeter) (*Device, error) 
 	if cfg.MeterCategory == "" {
 		cfg.MeterCategory = "flash"
 	}
+	o := obs.Or(cfg.Obs)
+	lbl := func(op string) obs.Labels {
+		return obs.Labels{"layer": "flash", "device": cfg.MeterCategory, "op": op}
+	}
 	d := &Device{
-		cfg:        cfg,
-		clock:      clock,
-		meter:      meter,
-		data:       make([]byte, cfg.Capacity()),
-		eraseCount: make([]int64, cfg.Banks*cfg.BlocksPerBank),
-		wornOut:    make([]bool, cfg.Banks*cfg.BlocksPerBank),
-		busyUntil:  make([]sim.Time, cfg.Banks),
+		cfg:         cfg,
+		clock:       clock,
+		meter:       meter,
+		obs:         o,
+		data:        make([]byte, cfg.Capacity()),
+		eraseCount:  make([]int64, cfg.Banks*cfg.BlocksPerBank),
+		wornOut:     make([]bool, cfg.Banks*cfg.BlocksPerBank),
+		busyUntil:   make([]sim.Time, cfg.Banks),
+		reads:       o.Counter("ops_total", lbl("read")),
+		programs:    o.Counter("ops_total", lbl("program")),
+		erases:      o.Counter("ops_total", lbl("erase")),
+		bytesRead:   o.Counter("bytes_total", lbl("read")),
+		bytesProg:   o.Counter("bytes_total", lbl("program")),
+		readStallNs: o.Counter("stall_ns_total", lbl("read")),
 	}
 	for i := range d.data {
 		d.data[i] = 0xFF
@@ -148,6 +164,10 @@ func New(cfg Config, clock *sim.Clock, meter *sim.EnergyMeter) (*Device, error) 
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// Meter returns the energy meter the device charges, so layers above can
+// attribute span energy without threading the meter separately.
+func (d *Device) Meter() *sim.EnergyMeter { return d.meter }
 
 // Capacity reports the device capacity in bytes.
 func (d *Device) Capacity() int64 { return d.cfg.Capacity() }
@@ -210,7 +230,10 @@ func (d *Device) BankBusyUntil(bank int) sim.Time { return d.busyUntil[bank] }
 // Read copies len(buf) bytes starting at addr into buf, advancing the
 // clock past any bank stalls and the transfer itself. It returns the total
 // latency charged.
-func (d *Device) Read(addr int64, buf []byte) (sim.Duration, error) {
+func (d *Device) Read(addr int64, buf []byte) (lat sim.Duration, err error) {
+	sp := d.obs.Span(d.clock, d.meter, "flash", "read")
+	n0 := int64(len(buf))
+	defer func() { sp.End(n0, err) }()
 	if err := d.checkRange(addr, len(buf)); err != nil {
 		return 0, err
 	}
@@ -265,7 +288,9 @@ func (d *Device) checkSpare(unit int64) error {
 
 // ReadSpare copies the unit's spare area into buf (at most SpareBytes),
 // charging the read like any other access on the unit's bank.
-func (d *Device) ReadSpare(unit int64, buf []byte) (sim.Duration, error) {
+func (d *Device) ReadSpare(unit int64, buf []byte) (lat sim.Duration, err error) {
+	sp := d.obs.Span(d.clock, d.meter, "flash", "read_spare")
+	defer func() { sp.End(int64(len(buf)), err) }()
 	if err := d.checkSpare(unit); err != nil {
 		return 0, err
 	}
@@ -286,7 +311,9 @@ func (d *Device) ReadSpare(unit int64, buf []byte) (sim.Duration, error) {
 
 // ProgramSpare writes p into the unit's spare area under the usual
 // bit-clearing rule, synchronously.
-func (d *Device) ProgramSpare(unit int64, p []byte) (sim.Duration, error) {
+func (d *Device) ProgramSpare(unit int64, p []byte) (lat sim.Duration, err error) {
+	sp := d.obs.Span(d.clock, d.meter, "flash", "program_spare")
+	defer func() { sp.End(int64(len(p)), err) }()
 	if err := d.checkSpare(unit); err != nil {
 		return 0, err
 	}
@@ -344,7 +371,9 @@ func (d *Device) program(addr int64, p []byte) (sim.Duration, error) {
 // Program writes p at addr synchronously: the caller's time advances past
 // any bank stall plus the program time. The target region must be erased
 // (or the write must only clear bits). Programs may not span banks.
-func (d *Device) Program(addr int64, p []byte) (sim.Duration, error) {
+func (d *Device) Program(addr int64, p []byte) (lat sim.Duration, err error) {
+	sp := d.obs.Span(d.clock, d.meter, "flash", "program")
+	defer func() { sp.End(int64(len(p)), err) }()
 	if err := d.checkSameBank(addr, len(p)); err != nil {
 		return 0, err
 	}
@@ -361,7 +390,9 @@ func (d *Device) Program(addr int64, p []byte) (sim.Duration, error) {
 // ProgramAsync posts a program: the data is applied immediately in the
 // model, the bank is occupied for the stall-plus-program window, and the
 // caller's clock does not advance. Later operations on the same bank wait.
-func (d *Device) ProgramAsync(addr int64, p []byte) error {
+func (d *Device) ProgramAsync(addr int64, p []byte) (err error) {
+	sp := d.obs.Span(d.clock, d.meter, "flash", "program_async")
+	defer func() { sp.End(int64(len(p)), err) }()
 	if err := d.checkSameBank(addr, len(p)); err != nil {
 		return err
 	}
@@ -422,7 +453,9 @@ func (d *Device) erase(block int) (sim.Duration, error) {
 }
 
 // Erase erases a block synchronously, advancing the caller's clock.
-func (d *Device) Erase(block int) (sim.Duration, error) {
+func (d *Device) Erase(block int) (lat sim.Duration, err error) {
+	sp := d.obs.Span(d.clock, d.meter, "flash", "erase")
+	defer func() { sp.End(int64(d.cfg.BlockBytes), err) }()
 	if block < 0 || block >= d.NumBlocks() {
 		return 0, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, block, d.NumBlocks())
 	}
@@ -440,7 +473,9 @@ func (d *Device) Erase(block int) (sim.Duration, error) {
 // reset in the model, the bank is occupied until the erase would finish,
 // and the caller's clock does not advance. This is how a cleaner erases
 // reclaimed blocks without stalling the foreground.
-func (d *Device) EraseAsync(block int) error {
+func (d *Device) EraseAsync(block int) (err error) {
+	sp := d.obs.Span(d.clock, d.meter, "flash", "erase_async")
+	defer func() { sp.End(int64(d.cfg.BlockBytes), err) }()
 	if block < 0 || block >= d.NumBlocks() {
 		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, block, d.NumBlocks())
 	}

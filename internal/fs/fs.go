@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"ssmobile/internal/dram"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/storman"
 )
@@ -108,6 +109,9 @@ type Config struct {
 	// journal records; the journal is also compacted into a snapshot when
 	// its region fills. Default 512.
 	SnapshotEvery int
+	// Obs receives the file system's metrics and op spans; nil falls back
+	// to obs.Default().
+	Obs *obs.Observer
 }
 
 // FS is the memory-resident file system. Not safe for concurrent use.
@@ -123,6 +127,11 @@ type FS struct {
 	rbox *rbox
 
 	metaCheckpointBlocks int64 // blocks object 0 held at last checkpoint
+
+	obs                     *obs.Observer
+	creates, reads, writes  *obs.Counter
+	removes, syncs          *obs.Counter
+	bytesRead, bytesWritten *obs.Counter
 }
 
 // Mkfs creates an empty file system on the storage manager, with its
@@ -131,13 +140,23 @@ func Mkfs(cfg Config, clock *sim.Clock, sm *storman.Manager, dramDev *dram.Devic
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 512
 	}
+	o := obs.Or(cfg.Obs)
+	lbl := func(op string) obs.Labels { return obs.Labels{"layer": "fs", "op": op} }
 	f := &FS{
-		cfg:     cfg,
-		clock:   clock,
-		sm:      sm,
-		dram:    dramDev,
-		nextIno: RootIno + 1,
-		inodes:  make(map[uint64]*Inode),
+		cfg:          cfg,
+		clock:        clock,
+		sm:           sm,
+		dram:         dramDev,
+		nextIno:      RootIno + 1,
+		inodes:       make(map[uint64]*Inode),
+		obs:          o,
+		creates:      o.Counter("ops_total", lbl("create")),
+		reads:        o.Counter("ops_total", lbl("read")),
+		writes:       o.Counter("ops_total", lbl("write")),
+		removes:      o.Counter("ops_total", lbl("remove")),
+		syncs:        o.Counter("ops_total", lbl("sync")),
+		bytesRead:    o.Counter("bytes_total", lbl("read")),
+		bytesWritten: o.Counter("bytes_total", lbl("write")),
 	}
 	if cfg.RBoxBytes > 0 {
 		rb, err := newRBox(cfg, clock, dramDev)
@@ -231,8 +250,14 @@ func (f *FS) resolveParent(path string) (*Inode, string, error) {
 
 func (f *FS) now() sim.Time { return f.clock.Now() }
 
+// span opens an op span against the file system's clock and the DRAM
+// device's energy meter.
+func (f *FS) span(op string) obs.SpanRef {
+	return f.obs.Span(f.clock, f.dram.Meter(), "fs", op)
+}
+
 // create makes a new inode under the parent.
-func (f *FS) create(path string, kind Kind) (*Inode, error) {
+func (f *FS) create(path string, kind Kind) (_ *Inode, err error) {
 	parent, leaf, err := f.resolveParent(path)
 	if err != nil {
 		return nil, err
@@ -240,6 +265,9 @@ func (f *FS) create(path string, kind Kind) (*Inode, error) {
 	if _, ok := parent.Entries[leaf]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrExist, path)
 	}
+	sp := f.span("create")
+	defer func() { sp.End(0, err) }()
+	f.creates.Inc()
 	ino := f.nextIno
 	f.nextIno++
 	node := &Inode{Ino: ino, Kind: kind, Nlink: 1, MtimeNs: int64(f.now())}
@@ -326,7 +354,7 @@ func (f *FS) ReadDir(path string) ([]Info, error) {
 }
 
 // WriteAt writes data into the file at off, extending it as needed.
-func (f *FS) WriteAt(path string, off int64, data []byte) (int, error) {
+func (f *FS) WriteAt(path string, off int64, data []byte) (_ int, err error) {
 	node, err := f.resolve(path)
 	if err != nil {
 		return 0, err
@@ -339,6 +367,10 @@ func (f *FS) WriteAt(path string, off int64, data []byte) (int, error) {
 	}
 	bs := int64(f.BlockBytes())
 	written := 0
+	sp := f.span("write")
+	defer func() { sp.End(int64(written), err) }()
+	f.writes.Inc()
+	defer func() { f.bytesWritten.Add(int64(written)) }()
 	for written < len(data) {
 		blk := (off + int64(written)) / bs
 		blkOff := int((off + int64(written)) % bs)
@@ -392,7 +424,7 @@ func (f *FS) Append(path string, data []byte) (int, error) {
 
 // ReadAt reads up to len(buf) bytes from off; it returns the count read,
 // which is short at end of file.
-func (f *FS) ReadAt(path string, off int64, buf []byte) (int, error) {
+func (f *FS) ReadAt(path string, off int64, buf []byte) (_ int, err error) {
 	node, err := f.resolve(path)
 	if err != nil {
 		return 0, err
@@ -412,6 +444,10 @@ func (f *FS) ReadAt(path string, off int64, buf []byte) (int, error) {
 	}
 	bs := int64(f.BlockBytes())
 	read := int64(0)
+	sp := f.span("read")
+	defer func() { sp.End(read, err) }()
+	f.reads.Inc()
+	defer func() { f.bytesRead.Add(read) }()
 	block := make([]byte, int(bs))
 	for read < want {
 		blk := (off + read) / bs
@@ -521,7 +557,7 @@ func (f *FS) Link(oldPath, newPath string) error {
 
 // Remove deletes a name: a file link (the inode and data go when the
 // last link is removed) or an empty directory.
-func (f *FS) Remove(path string) error {
+func (f *FS) Remove(path string) (err error) {
 	parent, leaf, err := f.resolveParent(path)
 	if err != nil {
 		return err
@@ -530,6 +566,9 @@ func (f *FS) Remove(path string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotExist, path)
 	}
+	sp := f.span("remove")
+	defer func() { sp.End(0, err) }()
+	f.removes.Inc()
 	node := f.inodes[ino]
 	if node.Kind == KindDir && len(node.Entries) > 0 {
 		return fmt.Errorf("%w: %q", ErrNotEmpty, path)

@@ -382,7 +382,10 @@ func (f *FS) Checkpoint() error {
 
 // Sync checkpoints the metadata and migrates all dirty data to flash: the
 // full "make everything stable" operation.
-func (f *FS) Sync() error {
+func (f *FS) Sync() (err error) {
+	sp := f.span("sync")
+	defer func() { sp.End(0, err) }()
+	f.syncs.Inc()
 	if err := f.Checkpoint(); err != nil {
 		return err
 	}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"ssmobile/internal/flash"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -105,6 +106,9 @@ type Config struct {
 	// until this many blocks are free, taking cleaning work off the
 	// write path. Zero disables idle cleaning.
 	IdleCleanThreshold int
+	// Obs receives the layer's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 type pageState uint8
@@ -166,10 +170,11 @@ type FTL struct {
 	pageSeq  map[int64]uint64 // lpn → newest program sequence
 	writeSeq uint64           // monotone program sequence for OOB records
 
-	hostWrites, hostReads   sim.Counter
-	hostBytes               sim.Counter
-	cleans, copies          sim.Counter
-	staticMoves, idleCleans sim.Counter
+	obs                     *obs.Observer
+	hostWrites, hostReads   *obs.Counter
+	hostBytes               *obs.Counter
+	cleans, copies          *obs.Counter
+	staticMoves, idleCleans *obs.Counter
 	retired                 int
 	firstWearOut            sim.Time
 	firstWearOutHostBytes   int64
@@ -203,6 +208,17 @@ func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 		hotActive:     -1,
 		coldActive:    -1,
 	}
+	o := obs.Or(cfg.Obs)
+	lbl := func(op string) obs.Labels { return obs.Labels{"layer": "ftl", "op": op} }
+	f.obs = o
+	f.hostWrites = o.Counter("host_ops_total", lbl("write"))
+	f.hostReads = o.Counter("host_ops_total", lbl("read"))
+	f.hostBytes = o.Counter("host_bytes_total", lbl("write"))
+	f.cleans = o.Counter("cleans_total", obs.Labels{"layer": "ftl"})
+	f.copies = o.Counter("copied_pages_total", obs.Labels{"layer": "ftl"})
+	f.staticMoves = o.Counter("static_moves_total", obs.Labels{"layer": "ftl"})
+	f.idleCleans = o.Counter("idle_cleans_total", obs.Labels{"layer": "ftl"})
+	o.GaugeFunc("free_blocks", obs.Labels{"layer": "ftl"}, func() float64 { return float64(f.freeCount) })
 	for i := range f.mapping {
 		f.mapping[i] = -1
 		f.reverse[i] = -1
@@ -397,15 +413,23 @@ func (f *FTL) ForEachMapped(fn func(lpn int64, tag Tag)) {
 	}
 }
 
+// span opens an op span against the layer's clock and the flash device's
+// energy meter, so span energy includes the device work underneath.
+func (f *FTL) span(op string) obs.SpanRef {
+	return f.obs.Span(f.clock, f.dev.Meter(), "ftl", op)
+}
+
 // WritePage stores one page of data at the logical page lpn. Any tag
 // previously set with WritePageTagged is preserved.
-func (f *FTL) WritePage(lpn int64, data []byte) error {
+func (f *FTL) WritePage(lpn int64, data []byte) (err error) {
 	if err := f.checkLPN(lpn); err != nil {
 		return err
 	}
 	if len(data) != f.cfg.PageBytes {
 		return fmt.Errorf("%w: got %d want %d", ErrBadSize, len(data), f.cfg.PageBytes)
 	}
+	sp := f.span("write_page")
+	defer func() { sp.End(int64(len(data)), err) }()
 	f.hostWrites.Inc()
 	f.hostBytes.Add(int64(len(data)))
 
@@ -429,13 +453,15 @@ func (f *FTL) WritePage(lpn int64, data []byte) error {
 }
 
 // ReadPage fetches one page into buf, which must be one page long.
-func (f *FTL) ReadPage(lpn int64, buf []byte) error {
+func (f *FTL) ReadPage(lpn int64, buf []byte) (err error) {
 	if err := f.checkLPN(lpn); err != nil {
 		return err
 	}
 	if len(buf) != f.cfg.PageBytes {
 		return fmt.Errorf("%w: got %d want %d", ErrBadSize, len(buf), f.cfg.PageBytes)
 	}
+	sp := f.span("read_page")
+	defer func() { sp.End(int64(len(buf)), err) }()
 	f.hostReads.Inc()
 	ppn := f.mapping[lpn]
 	if f.cfg.Policy == PolicyDirect {
@@ -452,7 +478,7 @@ func (f *FTL) ReadPage(lpn int64, buf []byte) error {
 		}
 		return nil
 	}
-	_, err := f.dev.Read(f.pageAddr(ppn), buf)
+	_, err = f.dev.Read(f.pageAddr(ppn), buf)
 	return err
 }
 
@@ -568,7 +594,9 @@ func (f *FTL) CleanIdle() error {
 
 // cleanOne relocates the victim's live pages to the cold stream and
 // erases it.
-func (f *FTL) cleanOne(victim int) error {
+func (f *FTL) cleanOne(victim int) (err error) {
+	sp := f.span("clean")
+	defer func() { sp.End(int64(f.pagesPerBlock)*int64(f.cfg.PageBytes), err) }()
 	f.cleans.Inc()
 	base := int64(victim) * int64(f.pagesPerBlock)
 	buf := make([]byte, f.cfg.PageBytes)

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// DumpFiles writes the observer's metrics snapshot and retained trace to
+// the given paths; empty paths are skipped. This is the common CLI exit
+// path behind -metrics / -trace-out / -trace-jsonl.
+func DumpFiles(o *Observer, metricsPath, chromePath, jsonlPath string) error {
+	if o == nil {
+		return nil
+	}
+	if metricsPath != "" && o.Registry != nil {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.Registry.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: writing metrics to %s: %w", metricsPath, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.Tracer == nil {
+		return nil
+	}
+	write := func(path string, mk func(f *os.File) TraceSink) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := o.Tracer.Flush(mk(f)); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: writing trace to %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if err := write(chromePath, func(f *os.File) TraceSink { return NewChromeTraceSink(f) }); err != nil {
+		return err
+	}
+	return write(jsonlPath, func(f *os.File) TraceSink { return NewJSONLSink(f) })
+}

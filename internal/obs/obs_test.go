@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestMetricKeySortsLabels(t *testing.T) {
+	a := metricKey("ops_total", Labels{"op": "write", "layer": "ftl"})
+	b := metricKey("ops_total", Labels{"layer": "ftl", "op": "write"})
+	if a != b {
+		t.Fatalf("label order changed the key: %q vs %q", a, b)
+	}
+	if want := "ops_total{layer=ftl,op=write}"; a != want {
+		t.Fatalf("key = %q, want %q", a, want)
+	}
+	if got := metricKey("plain", nil); got != "plain" {
+		t.Fatalf("unlabelled key = %q, want %q", got, "plain")
+	}
+}
+
+func TestCounterChainsToRegistryAggregate(t *testing.T) {
+	o := New(0)
+	lbl := Labels{"layer": "ftl"}
+	// Two layer instances under one observer: each child is exact, the
+	// registered parent aggregates both.
+	c1 := o.Counter("host_ops_total", lbl)
+	c2 := o.Counter("host_ops_total", lbl)
+	c1.Add(3)
+	c2.Add(4)
+	if c1.Value() != 3 || c2.Value() != 4 {
+		t.Fatalf("instance values = %d, %d; want 3, 4", c1.Value(), c2.Value())
+	}
+	m, ok := o.Registry.Snapshot().Find("host_ops_total", lbl)
+	if !ok {
+		t.Fatal("aggregate counter missing from snapshot")
+	}
+	if m.Value != 7 {
+		t.Fatalf("aggregate = %v, want 7", m.Value)
+	}
+}
+
+func TestHistogramChainsToRegistryAggregate(t *testing.T) {
+	o := New(0)
+	h1 := o.Histogram("lat", nil)
+	h2 := o.Histogram("lat", nil)
+	h1.Observe(10)
+	h2.Observe(20)
+	if h1.Sim().Count() != 1 || h2.Sim().Count() != 1 {
+		t.Fatalf("instance counts = %d, %d; want 1, 1", h1.Sim().Count(), h2.Sim().Count())
+	}
+	m, ok := o.Registry.Snapshot().Find("lat", nil)
+	if !ok {
+		t.Fatal("aggregate histogram missing from snapshot")
+	}
+	if m.Count != 2 || m.Sum != 30 {
+		t.Fatalf("aggregate count/sum = %d/%v, want 2/30", m.Count, m.Sum)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	// Exercised under -race in CI: concurrent registration, increments,
+	// gauge-func re-pointing and snapshots on one registry.
+	o := New(0)
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := o.Counter("shared_total", Labels{"layer": "test"})
+			h := o.Histogram("shared_lat", nil)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i))
+				o.GaugeFunc("shared_gauge", nil, func() float64 { return float64(g) })
+				if i%100 == 0 {
+					o.Registry.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := o.Registry.Snapshot()
+	if m, _ := snap.Find("shared_total", Labels{"layer": "test"}); m.Value != goroutines*iters {
+		t.Fatalf("counter aggregate = %v, want %d", m.Value, goroutines*iters)
+	}
+	if m, _ := snap.Find("shared_lat", nil); m.Count != goroutines*iters {
+		t.Fatalf("histogram aggregate count = %d, want %d", m.Count, goroutines*iters)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", nil)
+}
+
+func TestNilObserverIsUsable(t *testing.T) {
+	var o *Observer
+	c := o.Counter("c", nil)
+	c.Add(2)
+	if c.Value() != 2 {
+		t.Fatalf("standalone counter = %d, want 2", c.Value())
+	}
+	g := o.Gauge("g", nil)
+	g.Set(5)
+	if g.Value() != 5 {
+		t.Fatalf("standalone gauge = %d, want 5", g.Value())
+	}
+	h := o.Histogram("h", nil)
+	h.Observe(1)
+	if h.Sim().Count() != 1 {
+		t.Fatalf("standalone histogram count = %d, want 1", h.Sim().Count())
+	}
+	// And the nil collectors themselves are no-ops, not crashes.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Add(1)
+	var nh *Histogram
+	nh.Observe(1)
+	sp := o.Span(nil, nil, "l", "op")
+	sp.End(0, nil)
+}
+
+func TestGaugeFuncLastRegistrationWins(t *testing.T) {
+	o := New(0)
+	o.GaugeFunc("free", nil, func() float64 { return 1 })
+	o.GaugeFunc("free", nil, func() float64 { return 2 })
+	m, ok := o.Registry.Snapshot().Find("free", nil)
+	if !ok {
+		t.Fatal("gauge missing from snapshot")
+	}
+	if m.Value != 2 {
+		t.Fatalf("gauge reads %v, want the newest instance's 2", m.Value)
+	}
+}
+
+func TestSnapshotDiffAndRoundTrip(t *testing.T) {
+	o := New(0)
+	c := o.Counter("ops_total", Labels{"op": "write"})
+	g := o.Gauge("in_use", nil)
+	h := o.Histogram("lat", nil)
+	c.Add(10)
+	g.Set(3)
+	h.Observe(100)
+	base := o.Registry.Snapshot()
+
+	c.Add(5)
+	g.Set(7)
+	h.Observe(200)
+	now := o.Registry.Snapshot()
+
+	d := now.Diff(base)
+	if m, _ := d.Find("ops_total", Labels{"op": "write"}); m.Value != 5 {
+		t.Fatalf("counter delta = %v, want 5", m.Value)
+	}
+	if m, _ := d.Find("in_use", nil); m.Value != 7 {
+		t.Fatalf("gauge after diff = %v, want the newer state 7", m.Value)
+	}
+	if m, _ := d.Find("lat", nil); m.Count != 1 || m.Sum != 200 {
+		t.Fatalf("histogram delta count/sum = %d/%v, want 1/200", m.Count, m.Sum)
+	}
+
+	// WriteJSON then ReadSnapshot must reproduce the snapshot exactly.
+	var buf bytes.Buffer
+	if err := now.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(now, back) {
+		t.Fatalf("round trip changed the snapshot:\nwrote %+v\nread  %+v", now, back)
+	}
+}
+
+func TestObserverOrFallsBackToDefault(t *testing.T) {
+	prev := Default()
+	defer SetDefault(prev)
+	o := New(0)
+	SetDefault(o)
+	if Or(nil) != o {
+		t.Fatal("Or(nil) did not return the default observer")
+	}
+	explicit := New(0)
+	if Or(explicit) != explicit {
+		t.Fatal("Or(explicit) did not return the explicit observer")
+	}
+}

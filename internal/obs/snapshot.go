@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Metric is one collector's point-in-time value, the unit of Snapshot and
+// of the machine-readable metrics dump.
+type Metric struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	Kind   Kind   `json:"kind"`
+	// Value carries counters and gauges.
+	Value float64 `json:"value,omitempty"`
+	// Count..P99 carry histograms.
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Key reports the metric's canonical identity "name{k=v,...}".
+func (m Metric) Key() string { return metricKey(m.Name, m.Labels) }
+
+// Snapshot is a point-in-time capture of a registry, sorted by metric key
+// so output is deterministic.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot captures every registered collector.
+func (r *Registry) Snapshot() Snapshot {
+	cs := r.Collectors()
+	ms := make([]Metric, 0, len(cs))
+	for _, c := range cs {
+		ms = append(ms, c.Collect())
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Key() < ms[j].Key() })
+	return Snapshot{Metrics: ms}
+}
+
+// Find returns the metric with the given name and labels, if present.
+func (s Snapshot) Find(name string, labels Labels) (Metric, bool) {
+	key := metricKey(name, labels)
+	for _, m := range s.Metrics {
+		if m.Key() == key {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Diff reports this snapshot relative to an earlier base, so experiments
+// can report deltas instead of absolute totals. Counters subtract values;
+// histograms subtract Count and Sum (Min/Max/P50/P99 keep the newer
+// snapshot's values — quantiles of a difference are not recoverable from
+// summaries); gauges keep the newer value, since a gauge is a state, not
+// an accumulation. Metrics absent from the base diff against zero; metrics
+// only in the base are omitted.
+func (s Snapshot) Diff(base Snapshot) Snapshot {
+	prev := make(map[string]Metric, len(base.Metrics))
+	for _, m := range base.Metrics {
+		prev[m.Key()] = m
+	}
+	out := Snapshot{Metrics: make([]Metric, 0, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		if b, ok := prev[m.Key()]; ok {
+			switch m.Kind {
+			case KindCounter:
+				m.Value -= b.Value
+			case KindHistogram:
+				m.Count -= b.Count
+				m.Sum -= b.Sum
+			}
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	err := json.NewDecoder(r).Decode(&s)
+	return s, err
+}

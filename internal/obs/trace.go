@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"ssmobile/internal/sim"
+)
+
+// Span is one traced operation: a closed interval of virtual time
+// attributed to a layer and an operation, with the bytes moved, the
+// energy drawn (inclusive of nested work, measured as the energy-meter
+// delta across the span) and the outcome ("ok" or "error").
+type Span struct {
+	Start   sim.Time   `json:"start_ns"`
+	End     sim.Time   `json:"end_ns"`
+	Layer   string     `json:"layer"`
+	Op      string     `json:"op"`
+	Bytes   int64      `json:"bytes,omitempty"`
+	Energy  sim.Energy `json:"energy_pj,omitempty"`
+	Outcome string     `json:"outcome"`
+}
+
+// Duration reports the span's virtual-time extent.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Outcomes.
+const (
+	OutcomeOK    = "ok"
+	OutcomeError = "error"
+)
+
+// DefaultTraceCapacity bounds the span ring buffer when the caller does
+// not choose: 64k spans is enough to hold the tail of any experiment
+// while keeping the worst-case footprint around a few megabytes.
+const DefaultTraceCapacity = 1 << 16
+
+// Tracer records spans into a bounded ring buffer. When the buffer is
+// full the oldest spans are overwritten; Dropped reports how many were
+// lost. Safe for concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int   // ring index the next span lands in
+	total int64 // spans ever recorded
+}
+
+// NewTracer returns a tracer retaining up to capacity spans (<=0 selects
+// DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// Record appends one finished span.
+func (t *Tracer) Record(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.next] = sp
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total reports how many spans were ever recorded.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped reports how many spans the ring has overwritten.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - int64(len(t.ring))
+}
+
+// Flush writes the retained spans through each sink in turn.
+func (t *Tracer) Flush(sinks ...TraceSink) error {
+	spans := t.Spans()
+	dropped := t.Dropped()
+	for _, s := range sinks {
+		if err := s.WriteSpans(spans, dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpanRef is an open span returned by Observer.Span. The zero value is a
+// no-op, which is how uninstrumented runs pay nothing.
+type SpanRef struct {
+	t      *Tracer
+	clock  *sim.Clock
+	meter  *sim.EnergyMeter
+	start  sim.Time
+	energy sim.Energy
+	layer  string
+	op     string
+}
+
+// Span opens a span against the caller's virtual clock. The meter may be
+// nil; with one, the span's Energy is the meter delta across the span
+// (inclusive of nested operations' draw). End (or EndOutcome) closes it.
+func (o *Observer) Span(clock *sim.Clock, meter *sim.EnergyMeter, layer, op string) SpanRef {
+	if o == nil || o.Tracer == nil || clock == nil {
+		return SpanRef{}
+	}
+	sr := SpanRef{t: o.Tracer, clock: clock, meter: meter, start: clock.Now(), layer: layer, op: op}
+	if meter != nil {
+		sr.energy = meter.Total()
+	}
+	return sr
+}
+
+// End closes the span with bytes moved and an outcome derived from err.
+func (s SpanRef) End(bytes int64, err error) {
+	outcome := OutcomeOK
+	if err != nil {
+		outcome = OutcomeError
+	}
+	s.EndOutcome(bytes, outcome)
+}
+
+// EndOutcome closes the span with an explicit outcome string.
+func (s SpanRef) EndOutcome(bytes int64, outcome string) {
+	if s.t == nil {
+		return
+	}
+	var e sim.Energy
+	if s.meter != nil {
+		e = s.meter.Total() - s.energy
+	}
+	s.t.Record(Span{
+		Start: s.start, End: s.clock.Now(),
+		Layer: s.layer, Op: s.op,
+		Bytes: bytes, Energy: e, Outcome: outcome,
+	})
+}
+
+// TraceSink receives the tracer's retained spans on Flush.
+type TraceSink interface {
+	// WriteSpans writes spans (oldest first); dropped is how many earlier
+	// spans the ring buffer lost.
+	WriteSpans(spans []Span, dropped int64) error
+}
+
+// jsonlSink writes one JSON object per line: a header object followed by
+// every span.
+type jsonlSink struct{ w io.Writer }
+
+// NewJSONLSink returns a sink writing JSON-lines output: a header line
+// {"spans":N,"dropped":M} followed by one span object per line.
+func NewJSONLSink(w io.Writer) TraceSink { return jsonlSink{w} }
+
+// WriteSpans implements TraceSink.
+func (s jsonlSink) WriteSpans(spans []Span, dropped int64) error {
+	bw := bufio.NewWriter(s.w)
+	fmt.Fprintf(bw, "{\"spans\":%d,\"dropped\":%d}\n", len(spans), dropped)
+	enc := json.NewEncoder(bw)
+	for _, sp := range spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeSink writes the Chrome trace_event format (the JSON object form),
+// which chrome://tracing and Perfetto open directly. Each distinct layer
+// becomes a named "thread" so the per-layer timelines stack visually;
+// virtual timestamps map to trace microseconds.
+type chromeSink struct{ w io.Writer }
+
+// NewChromeTraceSink returns a sink writing Chrome trace_event JSON.
+func NewChromeTraceSink(w io.Writer) TraceSink { return chromeSink{w} }
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteSpans implements TraceSink.
+func (s chromeSink) WriteSpans(spans []Span, dropped int64) error {
+	// Assign layers to thread ids in first-seen order, deterministically.
+	tids := make(map[string]int)
+	events := make([]chromeEvent, 0, len(spans)+8)
+	for _, sp := range spans {
+		tid, ok := tids[sp.Layer]
+		if !ok {
+			tid = len(tids) + 1
+			tids[sp.Layer] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": sp.Layer},
+			})
+		}
+		args := map[string]any{"outcome": sp.Outcome}
+		if sp.Bytes != 0 {
+			args["bytes"] = sp.Bytes
+		}
+		if sp.Energy != 0 {
+			args["energy_pj"] = int64(sp.Energy)
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Op, Cat: sp.Layer, Ph: "X",
+			Ts:  float64(sp.Start) / 1e3,
+			Dur: float64(sp.End.Sub(sp.Start)) / 1e3,
+			Pid: 1, Tid: tid, Args: args,
+		})
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent  `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData,omitempty"`
+	}{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+	}
+	if dropped > 0 {
+		doc.OtherData = map[string]any{"dropped_spans": dropped}
+	}
+	enc := json.NewEncoder(s.w)
+	return enc.Encode(doc)
+}

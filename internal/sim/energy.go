@@ -46,8 +46,9 @@ func EnergyFor(pMilliwatts float64, d Duration) Energy {
 // it for every operation and for idle power over elapsed time; experiment
 // drivers read it to report battery impact.
 type EnergyMeter struct {
-	total      Energy
-	byCategory map[string]Energy
+	total           Energy
+	byCategory      map[string]Energy
+	droppedNegative int64
 }
 
 // NewEnergyMeter returns an empty meter.
@@ -55,14 +56,22 @@ func NewEnergyMeter() *EnergyMeter {
 	return &EnergyMeter{byCategory: make(map[string]Energy)}
 }
 
-// Charge records e joules of consumption attributed to category.
+// Charge records e joules of consumption attributed to category. A
+// negative charge is a modelling bug, not physics: it is clamped to zero
+// (the meter stays monotone) and counted, so telemetry can surface it as
+// a dropped_negative_charges metric instead of silently corrupting the
+// energy story.
 func (m *EnergyMeter) Charge(category string, e Energy) {
 	if e < 0 {
-		panic(fmt.Sprintf("sim: negative energy charge %v for %s", e, category))
+		m.droppedNegative++
+		return
 	}
 	m.total += e
 	m.byCategory[category] += e
 }
+
+// DroppedNegativeCharges reports how many negative charges were clamped.
+func (m *EnergyMeter) DroppedNegativeCharges() int64 { return m.droppedNegative }
 
 // Total reports the accumulated energy across all categories.
 func (m *EnergyMeter) Total() Energy { return m.total }
@@ -70,8 +79,9 @@ func (m *EnergyMeter) Total() Energy { return m.total }
 // Category reports the accumulated energy for one category.
 func (m *EnergyMeter) Category(c string) Energy { return m.byCategory[c] }
 
-// Reset zeroes the meter.
+// Reset zeroes the meter, including the dropped-negative count.
 func (m *EnergyMeter) Reset() {
 	m.total = 0
 	m.byCategory = make(map[string]Energy)
+	m.droppedNegative = 0
 }

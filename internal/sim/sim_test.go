@@ -362,11 +362,50 @@ func TestEnergyString(t *testing.T) {
 	}
 }
 
-func TestNegativeChargePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on negative charge")
+func TestNegativeChargeClampedAndCounted(t *testing.T) {
+	m := NewEnergyMeter()
+	m.Charge("x", 5)
+	m.Charge("x", -1)
+	m.Charge("y", -100*Joule)
+	if got := m.Total(); got != 5 {
+		t.Errorf("Total() = %v after negative charges, want 5 (clamped)", got)
+	}
+	if got := m.Category("x"); got != 5 {
+		t.Errorf("Category(x) = %v, want 5", got)
+	}
+	if got := m.DroppedNegativeCharges(); got != 2 {
+		t.Errorf("DroppedNegativeCharges() = %d, want 2", got)
+	}
+	m.Reset()
+	if got := m.DroppedNegativeCharges(); got != 0 {
+		t.Errorf("DroppedNegativeCharges() = %d after Reset, want 0", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 || math.IsNaN(got) {
+			t.Errorf("empty Quantile(%g) = %v, want 0", q, got)
 		}
-	}()
-	NewEnergyMeter().Charge("x", -1)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty Mean() = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	for _, v := range []float64{0, 1, 3.5, 1e9} {
+		h := NewHistogram("single")
+		h.Observe(v)
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			got := h.Quantile(q)
+			if math.IsNaN(got) {
+				t.Fatalf("single-sample Quantile(%g) is NaN for sample %g", q, v)
+			}
+			if got != v {
+				t.Errorf("single-sample Quantile(%g) = %v, want the sample %g", q, got, v)
+			}
+		}
+	}
 }

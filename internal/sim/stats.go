@@ -105,10 +105,15 @@ func (h *Histogram) Max() float64 {
 }
 
 // Quantile estimates the q-th quantile (q in [0,1]) from the buckets. The
-// exact min and max are returned for q=0 and q=1.
+// exact min and max are returned for q=0 and q=1. An empty histogram
+// reports 0 and a single-sample histogram reports that sample exactly —
+// never NaN — so downstream tables stay printable.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
+	}
+	if h.count == 1 {
+		return h.min
 	}
 	if q <= 0 {
 		return h.Min()

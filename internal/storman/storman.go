@@ -31,6 +31,7 @@ import (
 
 	"ssmobile/internal/dram"
 	"ssmobile/internal/ftl"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -63,6 +64,9 @@ type Config struct {
 	// WriteBackDelay is the dirty age at which the daemon migrates a block
 	// to flash; zero disables age-based migration.
 	WriteBackDelay sim.Duration
+	// Obs receives the manager's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 // Stats aggregates the manager's accounting.
@@ -124,12 +128,13 @@ type Manager struct {
 	writeOrder *list.List // LRW order of dirty DRAM blocks
 	dirtyOrder *list.List // dirty-age order
 
-	hostWritten, hostRead   sim.Counter
-	flushed                 sim.Counter
-	overwriteAbsorbed       sim.Counter
-	deleteAbsorbed          sim.Counter
-	cows, evictions, daemon sim.Counter
-	flashReads, dramReads   sim.Counter
+	obs                     *obs.Observer
+	hostWritten, hostRead   *obs.Counter
+	flushed                 *obs.Counter
+	overwriteAbsorbed       *obs.Counter
+	deleteAbsorbed          *obs.Counter
+	cows, evictions, daemon *obs.Counter
+	flashReads, dramReads   *obs.Counter
 }
 
 // New builds a manager over the DRAM device region and the translation
@@ -145,17 +150,31 @@ func New(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Mana
 		return nil, fmt.Errorf("storman: DRAM region [%d,%d) outside device of %d",
 			cfg.DRAMBase, cfg.DRAMBase+cfg.DRAMBytes, dramDev.Capacity())
 	}
+	o := obs.Or(cfg.Obs)
+	lbl := obs.Labels{"layer": "storman"}
 	m := &Manager{
-		cfg:        cfg,
-		clock:      clock,
-		dram:       dramDev,
-		fl:         fl,
-		table:      make(map[Key]*blockLoc),
-		byObject:   make(map[uint64]map[int64]*blockLoc),
-		totalPages: int(cfg.DRAMBytes / int64(cfg.BlockBytes)),
-		writeOrder: list.New(),
-		dirtyOrder: list.New(),
+		cfg:               cfg,
+		clock:             clock,
+		dram:              dramDev,
+		fl:                fl,
+		table:             make(map[Key]*blockLoc),
+		byObject:          make(map[uint64]map[int64]*blockLoc),
+		totalPages:        int(cfg.DRAMBytes / int64(cfg.BlockBytes)),
+		writeOrder:        list.New(),
+		dirtyOrder:        list.New(),
+		obs:               o,
+		hostWritten:       o.Counter("host_bytes_total", obs.Labels{"layer": "storman", "op": "write"}),
+		hostRead:          o.Counter("host_bytes_total", obs.Labels{"layer": "storman", "op": "read"}),
+		flushed:           o.Counter("flushed_bytes_total", lbl),
+		overwriteAbsorbed: o.Counter("absorbed_bytes_total", obs.Labels{"layer": "storman", "reason": "overwrite"}),
+		deleteAbsorbed:    o.Counter("absorbed_bytes_total", obs.Labels{"layer": "storman", "reason": "delete"}),
+		cows:              o.Counter("copy_on_writes_total", lbl),
+		evictions:         o.Counter("evictions_total", lbl),
+		daemon:            o.Counter("daemon_flushes_total", lbl),
+		flashReads:        o.Counter("reads_total", obs.Labels{"layer": "storman", "medium": "flash"}),
+		dramReads:         o.Counter("reads_total", obs.Labels{"layer": "storman", "medium": "dram"}),
 	}
+	o.GaugeFunc("dram_pages_in_use", lbl, func() float64 { return float64(m.totalPages - len(m.freeDRAM)) })
 	for p := m.totalPages - 1; p >= 0; p-- {
 		m.freeDRAM = append(m.freeDRAM, p)
 	}
@@ -244,7 +263,15 @@ func (m *Manager) allocDRAMPage() (int, error) {
 }
 
 // migrateToFlash flushes a dirty DRAM block to flash and frees its page.
-func (m *Manager) migrateToFlash(loc *blockLoc) error {
+// span opens an op span against the manager's clock and the DRAM device's
+// energy meter (shared with flash in assembled systems).
+func (m *Manager) span(op string) obs.SpanRef {
+	return m.obs.Span(m.clock, m.dram.Meter(), "storman", op)
+}
+
+func (m *Manager) migrateToFlash(loc *blockLoc) (err error) {
+	sp := m.span("migrate")
+	defer func() { sp.End(int64(loc.size), err) }()
 	buf := make([]byte, m.cfg.BlockBytes)
 	if _, err := m.dram.Read(m.pageAddr(loc.dramPage), buf[:loc.size]); err != nil {
 		return err
@@ -276,10 +303,12 @@ func (m *Manager) migrateToFlash(loc *blockLoc) error {
 }
 
 // WriteBlock stores data (at most one block) for key.
-func (m *Manager) WriteBlock(key Key, data []byte) error {
+func (m *Manager) WriteBlock(key Key, data []byte) (err error) {
 	if len(data) > m.cfg.BlockBytes {
 		return fmt.Errorf("%w: %d > %d", ErrBadSize, len(data), m.cfg.BlockBytes)
 	}
+	sp := m.span("write")
+	defer func() { sp.End(int64(len(data)), err) }()
 	m.hostWritten.Add(int64(len(data)))
 	loc := m.lookup(key)
 
@@ -347,11 +376,13 @@ func (m *Manager) WriteBlock(key Key, data []byte) error {
 // ReadBlock fetches the block into buf and reports how many bytes it
 // holds. Unknown blocks read as zero length. Flash-resident blocks are
 // read in place; they are not promoted to DRAM.
-func (m *Manager) ReadBlock(key Key, buf []byte) (int, error) {
+func (m *Manager) ReadBlock(key Key, buf []byte) (read int, err error) {
 	loc := m.lookup(key)
 	if loc == nil {
 		return 0, nil
 	}
+	sp := m.span("read")
+	defer func() { sp.End(int64(read), err) }()
 	n := loc.size
 	if n > len(buf) {
 		n = len(buf)

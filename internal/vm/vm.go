@@ -28,6 +28,7 @@ import (
 
 	"ssmobile/internal/dram"
 	"ssmobile/internal/flash"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -109,6 +110,9 @@ type Config struct {
 	// pressure; nil means frame exhaustion is an error (the solid-state
 	// configuration, where capacity is ample by design).
 	Swap Swapper
+	// Obs receives the VM's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 // Stats aggregates the VM counters.
@@ -174,8 +178,9 @@ type VM struct {
 	fifo       []int // eviction order of allocated anonymous frames
 	nextSpace  int
 
-	minor, cow, pageIns, pageOuts sim.Counter
-	flashReads, dramAccesses      sim.Counter
+	obs                           *obs.Observer
+	minor, cow, pageIns, pageOuts *obs.Counter
+	flashReads, dramAccesses      *obs.Counter
 }
 
 // New builds a VM over a DRAM frame pool and a flash device for XIP and
@@ -188,18 +193,34 @@ func New(cfg Config, clock *sim.Clock, dramDev *dram.Device, flashDev *flash.Dev
 		return nil, fmt.Errorf("vm: frame pool [%d,%d) outside DRAM of %d",
 			cfg.DRAMBase, cfg.DRAMBase+cfg.DRAMBytes, dramDev.Capacity())
 	}
+	o := obs.Or(cfg.Obs)
+	lbl := obs.Labels{"layer": "vm"}
 	v := &VM{
-		cfg:    cfg,
-		clock:  clock,
-		dram:   dramDev,
-		flash:  flashDev,
-		owners: make(map[int]frameOwner),
+		cfg:          cfg,
+		clock:        clock,
+		dram:         dramDev,
+		flash:        flashDev,
+		owners:       make(map[int]frameOwner),
+		obs:          o,
+		minor:        o.Counter("faults_total", obs.Labels{"layer": "vm", "kind": "minor"}),
+		cow:          o.Counter("faults_total", obs.Labels{"layer": "vm", "kind": "cow"}),
+		pageIns:      o.Counter("page_ins_total", lbl),
+		pageOuts:     o.Counter("page_outs_total", lbl),
+		flashReads:   o.Counter("accesses_total", obs.Labels{"layer": "vm", "medium": "flash"}),
+		dramAccesses: o.Counter("accesses_total", obs.Labels{"layer": "vm", "medium": "dram"}),
 	}
 	frames := int(cfg.DRAMBytes / int64(cfg.PageBytes))
 	for f := frames - 1; f >= 0; f-- {
 		v.freeFrames = append(v.freeFrames, f)
 	}
+	o.GaugeFunc("frames_in_use", lbl, func() float64 { return float64(frames - len(v.freeFrames)) })
 	return v, nil
+}
+
+// span opens an op span against the VM's clock and the DRAM device's
+// energy meter.
+func (v *VM) span(op string) obs.SpanRef {
+	return v.obs.Span(v.clock, v.dram.Meter(), "vm", op)
 }
 
 // PageBytes reports the page size.
@@ -446,14 +467,18 @@ func (v *VM) allocFrame(owner frameOwner) (int, error) {
 	v.fifo = v.fifo[1:]
 	vo := v.owners[victim]
 	e := vo.space.pages[vo.vpn]
+	sp := v.span("page_out")
 	buf := make([]byte, v.cfg.PageBytes)
 	if _, err := v.dram.Read(v.frameAddr(victim), buf); err != nil {
+		sp.End(0, err)
 		return 0, err
 	}
 	slot, err := v.cfg.Swap.PageOut(buf)
 	if err != nil {
+		sp.End(0, err)
 		return 0, err
 	}
+	sp.End(int64(len(buf)), nil)
 	v.pageOuts.Inc()
 	e.med = medSwapped
 	e.swapSlot = slot
@@ -488,13 +513,17 @@ func (v *VM) settle(s *Space, vpn uint64, e *pte, write bool) error {
 		if err != nil {
 			return err
 		}
+		sp := v.span("page_in")
 		buf := make([]byte, v.cfg.PageBytes)
 		if err := v.cfg.Swap.PageIn(e.swapSlot, buf); err != nil {
+			sp.End(0, err)
 			return err
 		}
 		if _, err := v.dram.Write(v.frameAddr(frame), buf); err != nil {
+			sp.End(0, err)
 			return err
 		}
+		sp.End(int64(len(buf)), nil)
 		e.med = medDRAM
 		e.frame = frame
 		e.swapSlot = -1

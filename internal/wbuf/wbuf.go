@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -89,6 +90,9 @@ type Config struct {
 	WriteBackDelay sim.Duration
 	// Policy selects the eviction order.
 	Policy EvictPolicy
+	// Obs receives the buffer's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 // Stats aggregates the buffer's traffic accounting.
@@ -135,10 +139,11 @@ type Buffer struct {
 	dirtyOrder *list.List // front = dirty longest
 	size       int64
 
-	hostBytes, flushedBytes sim.Counter
-	overwriteAbsorbed       sim.Counter
-	deleteAbsorbed          sim.Counter
-	evictions, daemonFlush  sim.Counter
+	obs                     *obs.Observer
+	hostBytes, flushedBytes *obs.Counter
+	overwriteAbsorbed       *obs.Counter
+	deleteAbsorbed          *obs.Counter
+	evictions, daemonFlush  *obs.Counter
 }
 
 // New builds an empty buffer flushing into sink.
@@ -152,14 +157,22 @@ func New(cfg Config, clock *sim.Clock, sink Sink) (*Buffer, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("wbuf: nil sink")
 	}
+	o := obs.Or(cfg.Obs)
 	return &Buffer{
-		cfg:        cfg,
-		clock:      clock,
-		sink:       sink,
-		entries:    make(map[Key]*entry),
-		byObject:   make(map[uint64]map[int64]*entry),
-		writeOrder: list.New(),
-		dirtyOrder: list.New(),
+		cfg:               cfg,
+		clock:             clock,
+		sink:              sink,
+		entries:           make(map[Key]*entry),
+		byObject:          make(map[uint64]map[int64]*entry),
+		writeOrder:        list.New(),
+		dirtyOrder:        list.New(),
+		obs:               o,
+		hostBytes:         o.Counter("host_bytes_total", obs.Labels{"layer": "wbuf"}),
+		flushedBytes:      o.Counter("flushed_bytes_total", obs.Labels{"layer": "wbuf"}),
+		overwriteAbsorbed: o.Counter("absorbed_bytes_total", obs.Labels{"layer": "wbuf", "reason": "overwrite"}),
+		deleteAbsorbed:    o.Counter("absorbed_bytes_total", obs.Labels{"layer": "wbuf", "reason": "delete"}),
+		evictions:         o.Counter("evictions_total", obs.Labels{"layer": "wbuf"}),
+		daemonFlush:       o.Counter("daemon_flushes_total", obs.Labels{"layer": "wbuf"}),
 	}, nil
 }
 
@@ -259,7 +272,9 @@ func (b *Buffer) drop(e *entry) {
 }
 
 // flush writes the entry to the sink and removes it.
-func (b *Buffer) flush(e *entry) error {
+func (b *Buffer) flush(e *entry) (err error) {
+	sp := b.obs.Span(b.clock, nil, "wbuf", "flush")
+	defer func() { sp.End(int64(len(e.data)), err) }()
 	b.flushedBytes.Add(int64(len(e.data)))
 	if err := b.sink.FlushBlock(e.key, e.data); err != nil {
 		return err
