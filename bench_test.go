@@ -9,9 +9,12 @@
 package ssmobile_test
 
 import (
+	"io"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"ssmobile/internal/core"
 	"ssmobile/internal/sim"
@@ -34,7 +37,7 @@ func logTables(b *testing.B, logged *bool, tables ...*core.Table) {
 func BenchmarkE1DeviceAccess(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E1DeviceComparison()
+		t, err := core.E1DeviceComparison(core.NewEnv(nil, 1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +59,7 @@ func BenchmarkE2CostCrossover(b *testing.B) {
 func BenchmarkE3WriteBuffer(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E3WriteBuffering(benchSeed)
+		t, err := core.E3WriteBuffering(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +77,7 @@ func BenchmarkE3WriteBuffer(b *testing.B) {
 func BenchmarkE3FlushPolicyAblation(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E3FlushPolicyAblation(benchSeed)
+		t, err := core.E3FlushPolicyAblation(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +88,7 @@ func BenchmarkE3FlushPolicyAblation(b *testing.B) {
 func BenchmarkE3BlockSizeAblation(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E3BlockSizeAblation(benchSeed)
+		t, err := core.E3BlockSizeAblation(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +99,7 @@ func BenchmarkE3BlockSizeAblation(b *testing.B) {
 func BenchmarkE4ReadInPlace(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E4ReadInPlace()
+		t, err := core.E4ReadInPlace(core.NewEnv(nil, 1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +110,7 @@ func BenchmarkE4ReadInPlace(b *testing.B) {
 func BenchmarkE5XIP(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E5XIP()
+		t, err := core.E5XIP(core.NewEnv(nil, 1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +121,7 @@ func BenchmarkE5XIP(b *testing.B) {
 func BenchmarkE6WearLeveling(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E6WearLeveling(benchSeed)
+		t, err := core.E6WearLeveling(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +132,7 @@ func BenchmarkE6WearLeveling(b *testing.B) {
 func BenchmarkE6Lifetime(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E6Lifetime(benchSeed)
+		t, err := core.E6Lifetime(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +143,7 @@ func BenchmarkE6Lifetime(b *testing.B) {
 func BenchmarkE6StaticLeveling(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E6Static(benchSeed)
+		t, err := core.E6Static(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +154,7 @@ func BenchmarkE6StaticLeveling(b *testing.B) {
 func BenchmarkE7Banking(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E7Banking(benchSeed)
+		t, err := core.E7Banking(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +165,7 @@ func BenchmarkE7Banking(b *testing.B) {
 func BenchmarkE7Segregation(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E7Segregation(benchSeed)
+		t, err := core.E7Segregation(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +176,7 @@ func BenchmarkE7Segregation(b *testing.B) {
 func BenchmarkE8Sizing(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E8Sizing(benchSeed)
+		t, err := core.E8Sizing(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -184,7 +187,7 @@ func BenchmarkE8Sizing(b *testing.B) {
 func BenchmarkE9EndToEnd(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E9EndToEnd(benchSeed)
+		t, err := core.E9EndToEnd(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +198,7 @@ func BenchmarkE9EndToEnd(b *testing.B) {
 func BenchmarkE9FlashParts(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		t, err := core.E9FlashParts(benchSeed)
+		t, err := core.E9FlashParts(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,12 +209,48 @@ func BenchmarkE9FlashParts(b *testing.B) {
 func BenchmarkE10CrashAndBattery(b *testing.B) {
 	logged := false
 	for i := 0; i < b.N; i++ {
-		tables, err := core.E10CrashAndBattery(benchSeed)
+		tables, err := core.E10CrashAndBattery(core.NewEnv(nil, 1), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
 		logTables(b, &logged, tables...)
 	}
+}
+
+// BenchmarkRunAllSerial and BenchmarkRunAllParallel run the entire
+// experiment suite end to end, sequentially and on a GOMAXPROCS-wide
+// worker pool. Their outputs are byte-identical (see
+// internal/core/determinism_test.go); the only difference is wall time,
+// which BenchmarkRunAllParallel reports as a "speedup" metric against a
+// serial run measured in the same process.
+
+func BenchmarkRunAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := core.RunAllParallel(io.Discard, benchSeed, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllParallel(b *testing.B) {
+	serialStart := time.Now()
+	if err := core.RunAllParallel(io.Discard, benchSeed, 1); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(serialStart)
+
+	par := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := core.RunAllParallel(io.Discard, benchSeed, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := time.Since(start) / time.Duration(b.N)
+	b.StopTimer()
+	b.ReportMetric(float64(par), "workers")
+	b.ReportMetric(serial.Seconds()/perOp.Seconds(), "speedup")
 }
 
 // Micro-benchmarks of the two storage organisations' hot paths: these

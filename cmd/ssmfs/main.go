@@ -20,6 +20,7 @@ import (
 	"ssmobile/internal/core"
 	"ssmobile/internal/fs"
 	"ssmobile/internal/obs"
+	"ssmobile/internal/prof"
 	"ssmobile/internal/sim"
 )
 
@@ -53,7 +54,15 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the op-span trace in Chrome trace_event format to this file")
 	traceJSONL := flag.String("trace-jsonl", "", "write the op-span trace as JSON lines to this file")
 	traceCap := flag.Int("trace-cap", 0, "span ring-buffer capacity (0 = default 65536)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfs:", err)
+		os.Exit(1)
+	}
 
 	o := obs.New(*traceCap)
 	obs.SetDefault(o)
@@ -86,8 +95,17 @@ func main() {
 			fmt.Fprintln(os.Stdout, "error:", err)
 		}
 	}
+	var exitErr error
 	if err := obs.DumpFiles(o, *metricsOut, *traceOut, *traceJSONL); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmfs:", err)
+		exitErr = err
+	}
+	if err := prof.WriteHeap(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfs:", err)
+		exitErr = err
+	}
+	stopCPU()
+	if exitErr != nil {
 		os.Exit(1)
 	}
 }

@@ -4,37 +4,45 @@
 //
 // Usage:
 //
-//	ssmsim [-seed N] [-metrics FILE] [-trace-out FILE] [-trace-jsonl FILE] all
+//	ssmsim [-seed N] [-parallel P] [-metrics FILE] [-trace-out FILE] [-trace-jsonl FILE] all
 //	                                            run every experiment
 //	ssmsim [flags] e1 e3 ...                    run selected experiments
 //	ssmsim list                                 list experiment ids
 //	ssmsim replay -trace FILE [-system solid|disk|both]
 //	                                            replay a trace (see ssmtrace)
 //
-// -metrics dumps every layer's counters, gauges and histograms as JSON;
-// -trace-out writes the retained op spans in Chrome trace_event format
-// (open in chrome://tracing or https://ui.perfetto.dev); -trace-jsonl
-// writes them as JSON lines. See DESIGN.md for the experiment index and
-// EXPERIMENTS.md for the paper-vs-measured record.
+// -parallel runs independent experiments and sweep configurations on a
+// worker pool (default: GOMAXPROCS); output is byte-identical to
+// -parallel 1 for any seed. -metrics dumps every layer's counters,
+// gauges and histograms as JSON; -trace-out writes the retained op spans
+// in Chrome trace_event format (open in chrome://tracing or
+// https://ui.perfetto.dev); -trace-jsonl writes them as JSON lines.
+// -cpuprofile/-memprofile write pprof profiles. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ssmobile/internal/core"
 	"ssmobile/internal/obs"
+	"ssmobile/internal/prof"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/trace"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1993, "workload seed (experiments are deterministic per seed)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for independent experiments and sweep points (1 = sequential; output is identical either way)")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 	traceOut := flag.String("trace-out", "", "write the op-span trace in Chrome trace_event format to this file")
 	traceJSONL := flag.String("trace-jsonl", "", "write the op-span trace as JSON lines to this file")
 	traceCap := flag.Int("trace-cap", 0, "span ring-buffer capacity (0 = default 65536; oldest spans drop first)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ssmsim [flags] all | list | replay ... | <experiment id>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", core.ExperimentIDs())
@@ -47,11 +55,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Every layer built anywhere in the process reports here.
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Every layer built anywhere in the process reports here; concurrent
+	// jobs run under private observers that merge back deterministically.
 	o := obs.New(*traceCap)
 	obs.SetDefault(o)
 
-	var err error
+	var runErr error
 	switch args[0] {
 	case "list":
 		desc := core.Descriptions()
@@ -59,24 +73,41 @@ func main() {
 			fmt.Printf("%-4s %s\n", id, desc[id])
 		}
 	case "replay":
-		err = replay(args[1:])
+		runErr = replay(args[1:])
 	case "all":
-		err = core.RunAll(os.Stdout, *seed)
+		runErr = core.RunAllParallel(os.Stdout, *seed, *parallel)
 	default:
 		for _, id := range args {
-			if err = core.RunExperiment(os.Stdout, id, *seed); err != nil {
+			if runErr = core.RunExperimentParallel(os.Stdout, id, *seed, *parallel); runErr != nil {
 				break
 			}
 		}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssmsim:", err)
-		os.Exit(1)
-	}
+
+	// Dump telemetry and profiles even on a failed run: the metrics and
+	// spans up to the failure are exactly what you need to debug it.
 	if err := obs.DumpFiles(o, *metricsOut, *traceOut, *traceJSONL); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmsim:", err)
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	if err := prof.WriteHeap(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmsim:", err)
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	stopCPU()
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "ssmsim:", runErr)
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssmsim:", err)
+	os.Exit(1)
 }
 
 // replay runs a trace file against one or both storage organisations and

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	ssmtrace gen [-kind baker|blocks] [-minutes M] [-seed N] [-o FILE]
+//	ssmtrace gen [-kind baker|pim|blocks] [-minutes M] [-seed N] [-o FILE]
 //	ssmtrace stats [-metrics FILE] [FILE]
 //
+// Both subcommands accept -cpuprofile/-memprofile for pprof profiles.
 // Generated traces use the text format of internal/trace: one operation
 // per line, "<time-ns> <kind> <file> <offset> <size>".
 package main
@@ -17,6 +18,7 @@ import (
 	"io"
 	"os"
 
+	"ssmobile/internal/prof"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/trace"
 )
@@ -25,23 +27,52 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	var run func([]string, *profFlags) error
 	switch os.Args[1] {
 	case "gen":
-		gen(os.Args[2:])
+		run = gen
 	case "stats":
-		stats(os.Args[2:])
+		run = stats
 	default:
 		usage()
 	}
+
+	var pf profFlags
+	if err := runProfiled(os.Args[2:], &pf, run); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+// profFlags carries the -cpuprofile/-memprofile values every subcommand
+// registers on its own FlagSet.
+type profFlags struct {
+	cpu, mem string
+}
+
+func (p *profFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file at exit")
+}
+
+// runProfiled runs a subcommand and writes any requested profiles before
+// returning, whether the subcommand succeeded or not.
+func runProfiled(args []string, pf *profFlags, run func([]string, *profFlags) error) error {
+	err := run(args, pf)
+	// pf is populated by the subcommand's flag parse inside run.
+	if herr := prof.WriteHeap(pf.mem); herr != nil && err == nil {
+		err = herr
+	}
+	return err
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssmtrace gen [-kind baker|blocks] [-minutes M] [-seed N] [-o FILE]")
+	fmt.Fprintln(os.Stderr, "usage: ssmtrace gen [-kind baker|pim|blocks] [-minutes M] [-seed N] [-o FILE]")
 	fmt.Fprintln(os.Stderr, "       ssmtrace stats [-metrics FILE] [FILE]")
 	os.Exit(2)
 }
 
-func gen(args []string) {
+func gen(args []string, pf *profFlags) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	kind := fs.String("kind", "baker", "workload kind: baker (office), pim (datebook), blocks (raw block)")
 	minutes := fs.Int("minutes", 30, "trace duration in virtual minutes (baker)")
@@ -51,12 +82,17 @@ func gen(args []string) {
 	skew := fs.Float64("skew", 1.2, "zipf skew, 0 for uniform (blocks)")
 	readFrac := fs.Float64("reads", 0.5, "read fraction (blocks)")
 	out := fs.String("o", "", "output file (default stdout)")
+	pf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
+	stopCPU, err := prof.StartCPU(pf.cpu)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
 
 	var tr *trace.Trace
-	var err error
 	switch *kind {
 	case "baker":
 		tr, err = trace.GenerateBaker(trace.DefaultBaker(sim.Duration(*minutes)*sim.Minute, *seed))
@@ -68,50 +104,50 @@ func gen(args []string) {
 			ReadFrac: *readFrac, Skew: *skew, Seed: *seed,
 		})
 	default:
-		fmt.Fprintf(os.Stderr, "ssmtrace: unknown kind %q\n", *kind)
-		os.Exit(2)
+		return fmt.Errorf("unknown kind %q", *kind)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssmtrace:", err)
-		os.Exit(1)
+		return err
 	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	if _, err := tr.WriteTo(w); err != nil {
-		fmt.Fprintln(os.Stderr, "ssmtrace:", err)
-		os.Exit(1)
-	}
+	_, err = tr.WriteTo(w)
+	return err
 }
 
-func stats(args []string) {
+func stats(args []string, pf *profFlags) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	metricsOut := fs.String("metrics", "", "also write the stats as JSON to this file")
+	pf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
+	stopCPU, err := prof.StartCPU(pf.cpu)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
 	var r io.Reader = os.Stdin
 	if fs.NArg() > 0 {
 		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		r = f
 	}
 	tr, err := trace.ReadTrace(r)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssmtrace:", err)
-		os.Exit(1)
+		return err
 	}
 	s := tr.Stats()
 	fmt.Printf("operations:    %d\n", s.Ops)
@@ -124,19 +160,15 @@ func stats(args []string) {
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
-			os.Exit(1)
+			return err
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(s); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
-			os.Exit(1)
+			return err
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "ssmtrace:", err)
-			os.Exit(1)
-		}
+		return f.Close()
 	}
+	return nil
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The engine's central promise: running the full experiment suite with a
+// worker pool produces output byte-identical to the sequential run, for
+// any seed. Tables are printed in registry order regardless of which job
+// finished first, and every simulation runs under its own clock, RNG and
+// observer — so the scheduler's interleaving can never leak into the
+// results.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice per seed")
+	}
+	for _, seed := range []int64{1993, 1, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed_%d", seed), func(t *testing.T) {
+			t.Parallel()
+			var serial, parallel strings.Builder
+			if err := RunAllParallel(&serial, seed, 1); err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			if err := RunAllParallel(&parallel, seed, 8); err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if serial.String() != parallel.String() {
+				t.Errorf("parallel output diverges from serial for seed %d:\n%s",
+					seed, firstDiffLine(serial.String(), parallel.String()))
+			}
+		})
+	}
+}
+
+// firstDiffLine renders the first line where two outputs disagree, so a
+// determinism failure is debuggable from the log.
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  serial:   %s\n  parallel: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("outputs agree on common prefix; lengths differ: %d vs %d bytes",
+		len(a), len(b))
+}

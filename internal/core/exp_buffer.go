@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/trace"
 	"ssmobile/internal/wbuf"
@@ -10,20 +11,22 @@ import (
 
 // replayThroughBuffer drives one Baker trace through a write buffer and
 // reports its final stats (after a terminal Sync, so unflushed residue is
-// not silently counted as savings).
-func replayThroughBuffer(tr *trace.Trace, capacityBytes int64, delay sim.Duration, policy wbuf.EvictPolicy) (wbuf.Stats, error) {
-	return replayThroughBufferBS(tr, capacityBytes, delay, policy, 4096)
+// not silently counted as savings). The trace is read-only here, so one
+// generated trace is safely shared across concurrent sweep points.
+func replayThroughBuffer(o *obs.Observer, tr *trace.Trace, capacityBytes int64, delay sim.Duration, policy wbuf.EvictPolicy) (wbuf.Stats, error) {
+	return replayThroughBufferBS(o, tr, capacityBytes, delay, policy, 4096)
 }
 
 // replayThroughBufferBS is replayThroughBuffer with an explicit buffering
 // granularity, for the block-size ablation.
-func replayThroughBufferBS(tr *trace.Trace, capacityBytes int64, delay sim.Duration, policy wbuf.EvictPolicy, bs int64) (wbuf.Stats, error) {
+func replayThroughBufferBS(o *obs.Observer, tr *trace.Trace, capacityBytes int64, delay sim.Duration, policy wbuf.EvictPolicy, bs int64) (wbuf.Stats, error) {
 	clock := sim.NewClock()
 	b, err := wbuf.New(wbuf.Config{
 		CapacityBytes:  capacityBytes,
 		BlockBytes:     int(bs),
 		WriteBackDelay: delay,
 		Policy:         policy,
+		Obs:            o,
 	}, clock, wbuf.SinkFunc(func(wbuf.Key, []byte) error { return nil }))
 	if err != nil {
 		return wbuf.Stats{}, err
@@ -63,7 +66,7 @@ func replayThroughBufferBS(tr *trace.Trace, capacityBytes int64, delay sim.Durat
 // Small blocks track dirty data precisely but cost more bookkeeping;
 // large blocks waste buffer space on clean bytes dragged along with
 // dirty ones.
-func E3BlockSizeAblation(seed int64) (*Table, error) {
+func E3BlockSizeAblation(env *Env, seed int64) (*Table, error) {
 	tr, err := trace.GenerateBaker(trace.DefaultBaker(time2Hours, seed))
 	if err != nil {
 		return nil, err
@@ -73,11 +76,18 @@ func E3BlockSizeAblation(seed int64) (*Table, error) {
 		Title:   "buffer granularity ablation (1MB buffer, 30s write-back)",
 		Headers: []string{"block size", "reduction", "flushed MB", "evictions"},
 	}
-	for _, bs := range []int64{512, 1024, 4096, 16384} {
-		st, err := replayThroughBufferBS(tr, 1<<20, 30*sim.Second, wbuf.EvictLRW, bs)
-		if err != nil {
-			return nil, err
-		}
+	sizes := []int64{512, 1024, 4096, 16384}
+	stats := make([]wbuf.Stats, len(sizes))
+	err = env.ForEach(len(sizes), func(i int, je *Env) error {
+		st, err := replayThroughBufferBS(je.Obs(), tr, 1<<20, 30*sim.Second, wbuf.EvictLRW, sizes[i])
+		stats[i] = st
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bs := range sizes {
+		st := stats[i]
 		t.AddRow(fmtBytes(bs),
 			fmt.Sprintf("%.1f%%", st.Reduction()*100),
 			fmt.Sprintf("%.1f", float64(st.FlushedBytes)/(1<<20)),
@@ -93,7 +103,7 @@ func E3BlockSizeAblation(seed int64) (*Table, error) {
 // by 40 to 50%" (Baker et al.). It sweeps the buffer size over a
 // Sprite-like synthetic trace with the classic 30-second write-back
 // delay.
-func E3WriteBuffering(seed int64) (*Table, error) {
+func E3WriteBuffering(env *Env, seed int64) (*Table, error) {
 	tr, err := trace.GenerateBaker(trace.DefaultBaker(2*sim.Hour, seed))
 	if err != nil {
 		return nil, err
@@ -105,11 +115,18 @@ func E3WriteBuffering(seed int64) (*Table, error) {
 		Headers: []string{"buffer", "reduction", "overwrite-absorbed", "delete-absorbed",
 			"flushed MB", "evictions"},
 	}
-	for _, mb := range []float64{0, 0.25, 0.5, 1, 2, 4, 8} {
-		st, err := replayThroughBuffer(tr, int64(mb*float64(1<<20)), 30*sim.Second, wbuf.EvictLRW)
-		if err != nil {
-			return nil, err
-		}
+	sizes := []float64{0, 0.25, 0.5, 1, 2, 4, 8}
+	stats := make([]wbuf.Stats, len(sizes))
+	err = env.ForEach(len(sizes), func(i int, je *Env) error {
+		st, err := replayThroughBuffer(je.Obs(), tr, int64(sizes[i]*float64(1<<20)), 30*sim.Second, wbuf.EvictLRW)
+		stats[i] = st
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mb := range sizes {
+		st := stats[i]
 		t.AddRow(
 			fmt.Sprintf("%.2gMB", mb),
 			fmt.Sprintf("%.1f%%", st.Reduction()*100),
@@ -128,7 +145,7 @@ func E3WriteBuffering(seed int64) (*Table, error) {
 
 // E3FlushPolicyAblation compares eviction policies and write-back delays
 // at the 1MB point — the design-choice ablation for the write buffer.
-func E3FlushPolicyAblation(seed int64) (*Table, error) {
+func E3FlushPolicyAblation(env *Env, seed int64) (*Table, error) {
 	tr, err := trace.GenerateBaker(trace.DefaultBaker(time2Hours, seed))
 	if err != nil {
 		return nil, err
@@ -138,18 +155,31 @@ func E3FlushPolicyAblation(seed int64) (*Table, error) {
 		Title:   "write-buffer policy ablation at 1MB",
 		Headers: []string{"eviction", "write-back delay", "reduction"},
 	}
+	type point struct {
+		pol   wbuf.EvictPolicy
+		delay sim.Duration
+	}
+	var points []point
 	for _, pol := range []wbuf.EvictPolicy{wbuf.EvictLRW, wbuf.EvictFIFO} {
 		for _, delay := range []sim.Duration{5 * sim.Second, 30 * sim.Second, 2 * sim.Minute, 0} {
-			st, err := replayThroughBuffer(tr, 1<<20, delay, pol)
-			if err != nil {
-				return nil, err
-			}
-			delayStr := delay.String()
-			if delay == 0 {
-				delayStr = "none (evict-only)"
-			}
-			t.AddRow(pol.String(), delayStr, fmt.Sprintf("%.1f%%", st.Reduction()*100))
+			points = append(points, point{pol, delay})
 		}
+	}
+	stats := make([]wbuf.Stats, len(points))
+	err = env.ForEach(len(points), func(i int, je *Env) error {
+		st, err := replayThroughBuffer(je.Obs(), tr, 1<<20, points[i].delay, points[i].pol)
+		stats[i] = st
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		delayStr := p.delay.String()
+		if p.delay == 0 {
+			delayStr = "none (evict-only)"
+		}
+		t.AddRow(p.pol.String(), delayStr, fmt.Sprintf("%.1f%%", stats[i].Reduction()*100))
 	}
 	t.Notes = append(t.Notes, "longer write-back delays absorb more but risk more loss on power failure (see E10)")
 	return t, nil

@@ -15,7 +15,7 @@ import (
 // are measured on the simulated devices (8KB random transfer, plus a
 // 1-byte random access), not just quoted from the catalog, so the device
 // models themselves are what is being reported.
-func E1DeviceComparison() (*Table, error) {
+func E1DeviceComparison(env *Env) (*Table, error) {
 	t := &Table{
 		ID:    "E1",
 		Title: "storage technologies for small mobile computers (1993 parts)",
@@ -31,7 +31,7 @@ func E1DeviceComparison() (*Table, error) {
 
 		switch p.Class {
 		case device.DRAM:
-			d, err := dram.New(dram.Config{CapacityBytes: 20 << 20, Params: p}, clock, meter)
+			d, err := dram.New(dram.Config{CapacityBytes: 20 << 20, Params: p, Obs: env.Obs()}, clock, meter)
 			if err != nil {
 				return nil, err
 			}
@@ -50,6 +50,7 @@ func E1DeviceComparison() (*Table, error) {
 			blockBytes := p.EraseBlockBytes
 			d, err := flash.New(flash.Config{
 				Banks: 1, BlocksPerBank: (20 << 20) / blockBytes, BlockBytes: blockBytes, Params: p,
+				Obs: env.Obs(),
 			}, clock, meter)
 			if err != nil {
 				return nil, err
@@ -70,7 +71,7 @@ func E1DeviceComparison() (*Table, error) {
 			eraseStr = fmtDur(er) + fmt.Sprintf("/%s", fmtBytes(int64(blockBytes)))
 
 		case device.Disk:
-			d, err := disk.New(disk.Config{CapacityBytes: int64(p.CapacityMB) * (1 << 20), Params: p}, clock, meter)
+			d, err := disk.New(disk.Config{CapacityBytes: int64(p.CapacityMB) * (1 << 20), Params: p, Obs: env.Obs()}, clock, meter)
 			if err != nil {
 				return nil, err
 			}
@@ -203,10 +204,10 @@ func E1BatteryLife() (*Table, error) {
 // also shown in context: the solid-state path (file system → storage
 // manager → FTL → flash) against the conventional path (file system →
 // buffer cache → disk). Every layer's counters and op spans from this
-// run land in the default observer, which is what makes `ssmsim
+// run land in the run's observer, which is what makes `ssmsim
 // -trace-out run.trace e1` produce a trace covering flash, FTL and
 // buffer-cache operations.
-func E1FullStack() (*Table, error) {
+func E1FullStack(env *Env) (*Table, error) {
 	t := &Table{
 		ID:      "E1c",
 		Title:   "devices in context: 1MB written/synced/read through each full stack (4KB ops)",
@@ -246,14 +247,14 @@ func E1FullStack() (*Table, error) {
 		t.AddRow(sys.Name(), fmtDur(writeLat), fmtDur(syncLat), fmtDur(readLat), meter.Total().String())
 		return nil
 	}
-	ss, err := NewSolidState(SolidStateConfig{DRAMBytes: 8 << 20, FlashBytes: 8 << 20})
+	ss, err := NewSolidState(SolidStateConfig{DRAMBytes: 8 << 20, FlashBytes: 8 << 20, Obs: env.Obs()})
 	if err != nil {
 		return nil, err
 	}
 	if err := run(ss); err != nil {
 		return nil, err
 	}
-	dk, err := NewDisk(DiskConfig{DRAMBytes: 8 << 20, DiskBytes: 20 << 20})
+	dk, err := NewDisk(DiskConfig{DRAMBytes: 8 << 20, DiskBytes: 20 << 20, Obs: env.Obs()})
 	if err != nil {
 		return nil, err
 	}

@@ -7,18 +7,20 @@ import (
 	"ssmobile/internal/device"
 	"ssmobile/internal/flash"
 	"ssmobile/internal/ftl"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
 // e6Flash builds the small, fast-erasing flash device the wear
 // experiments sweep policies over.
-func e6Flash(endurance int64) (*flash.Device, *sim.Clock, error) {
+func e6Flash(o *obs.Observer, endurance int64) (*flash.Device, *sim.Clock, error) {
 	clock := sim.NewClock()
 	params := device.IntelFlash
 	params.EnduranceCycles = endurance
 	params.EraseLatencyNs = 1e6
 	dev, err := flash.New(flash.Config{
 		Banks: 2, BlocksPerBank: 64, BlockBytes: 16 * 1024, Params: params,
+		Obs: o,
 	}, clock, sim.NewEnergyMeter())
 	return dev, clock, err
 }
@@ -45,25 +47,29 @@ func e6Variants() []e6Variant {
 // cleaning: under a skewed write workload, wear-leveling policies spread
 // erasures evenly (low coefficient of variation) where the naive direct
 // mapping concentrates them, at a bounded write-amplification cost.
-func E6WearLeveling(seed int64) (*Table, error) {
+func E6WearLeveling(env *Env, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "E6",
 		Title:   "wear leveling under a zipf write workload (16k page writes)",
 		Headers: []string{"policy", "erase CoV", "max erases", "total erases", "write amp", "cleans"},
 	}
 	const ops = 16000
-	for _, v := range e6Variants() {
-		dev, clock, err := e6Flash(0)
+	variants := e6Variants()
+	rows := make([][]string, len(variants))
+	err := env.ForEach(len(variants), func(i int, je *Env) error {
+		v := variants[i]
+		dev, clock, err := e6Flash(je.Obs(), 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l, err := ftl.New(dev, clock, ftl.Config{
 			PageBytes: 1024, ReserveBlocks: 3,
 			Policy: v.policy, HotCold: v.hotCold, BackgroundErase: true,
 			WearDeltaThreshold: v.wearDelta,
+			Obs:                je.Obs(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g := sim.NewRNG(seed)
 		z := g.Zipf(1.2, uint64(l.LogicalPages()))
@@ -71,19 +77,24 @@ func E6WearLeveling(seed int64) (*Table, error) {
 		for i := 0; i < ops; i++ {
 			page[0] = byte(i)
 			if err := l.WritePage(int64(z.Next()), page); err != nil {
-				return nil, fmt.Errorf("%s: %w", v.name, err)
+				return fmt.Errorf("%s: %w", v.name, err)
 			}
 		}
 		ds := dev.Stats()
 		ls := l.Stats()
-		t.AddRow(v.name,
+		rows[i] = []string{v.name,
 			fmt.Sprintf("%.2f", ds.EraseCountCoV),
 			fmt.Sprint(ds.MaxEraseCount),
 			fmt.Sprint(ds.Erases),
 			fmt.Sprintf("%.2f", ls.WriteAmplification),
 			fmt.Sprint(ls.Cleans),
-		)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.addRows(rows)
 	t.Notes = append(t.Notes,
 		"lower CoV = more even wear; direct mapping pays massive amplification AND uneven wear")
 	return t, nil
@@ -93,25 +104,28 @@ func E6WearLeveling(seed int64) (*Table, error) {
 // first block exhausts a (scaled-down) endurance of 200 cycles — the
 // "prolong the life of flash memory" claim made measurable. Results scale
 // linearly to the real 100,000-cycle endurance.
-func E6Lifetime(seed int64) (*Table, error) {
+func E6Lifetime(env *Env, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "E6b",
 		Title:   "host data written before first block wears out (endurance scaled to 200 cycles)",
 		Headers: []string{"policy", "host MB until first wear-out", "vs direct"},
 	}
-	var direct float64
-	for _, v := range e6Variants() {
-		dev, clock, err := e6Flash(200)
+	variants := e6Variants()
+	mbs := make([]float64, len(variants))
+	err := env.ForEach(len(variants), func(i int, je *Env) error {
+		v := variants[i]
+		dev, clock, err := e6Flash(je.Obs(), 200)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l, err := ftl.New(dev, clock, ftl.Config{
 			PageBytes: 1024, ReserveBlocks: 3,
 			Policy: v.policy, HotCold: v.hotCold, BackgroundErase: true,
 			WearDeltaThreshold: v.wearDelta,
+			Obs:                je.Obs(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g := sim.NewRNG(seed)
 		z := g.Zipf(1.2, uint64(l.LogicalPages()))
@@ -121,7 +135,7 @@ func E6Lifetime(seed int64) (*Table, error) {
 			page[0] = byte(i)
 			err := l.WritePage(int64(z.Next()), page)
 			if err != nil && !errors.Is(err, ftl.ErrDeviceWorn) {
-				return nil, fmt.Errorf("%s: %w", v.name, err)
+				return fmt.Errorf("%s: %w", v.name, err)
 			}
 			if s := l.Stats(); s.RetiredBlocks > 0 {
 				hostBytes = s.FirstWearOutHostBytes
@@ -136,7 +150,18 @@ func E6Lifetime(seed int64) (*Table, error) {
 				break
 			}
 		}
-		mb := float64(hostBytes) / (1 << 20)
+		mbs[i] = float64(hostBytes) / (1 << 20)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The "vs direct" column normalizes against variant 0 (the direct
+	// mapping), which the sequential loop computed first; with the sweep
+	// parallel, the ratio is applied at assembly time instead.
+	var direct float64
+	for i, v := range variants {
+		mb := mbs[i]
 		if v.policy == ftl.PolicyDirect {
 			direct = mb
 		}
@@ -155,30 +180,34 @@ func E6Lifetime(seed int64) (*Table, error) {
 // while a hot set hammers the rest. Dynamic policies cannot touch the
 // pinned blocks; static leveling relocates them so their endurance joins
 // the pool.
-func E6Static(seed int64) (*Table, error) {
+func E6Static(env *Env, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "E6c",
 		Title:   "static wear leveling with pinned cold data (1/3 of device never rewritten)",
 		Headers: []string{"static leveling", "erase CoV", "max erases", "min erases", "spread", "forced moves"},
 	}
-	for _, threshold := range []int64{0, 8} {
-		dev, clock, err := e6Flash(0)
+	thresholds := []int64{0, 8}
+	rows := make([][]string, len(thresholds))
+	err := env.ForEach(len(thresholds), func(i int, je *Env) error {
+		threshold := thresholds[i]
+		dev, clock, err := e6Flash(je.Obs(), 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l, err := ftl.New(dev, clock, ftl.Config{
 			PageBytes: 1024, ReserveBlocks: 3,
 			Policy: ftl.PolicyCostBenefit, HotCold: true, BackgroundErase: true,
 			WearDeltaThreshold: threshold,
+			Obs:                je.Obs(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		page := make([]byte, 1024)
 		coldPages := l.LogicalPages() / 3
 		for lpn := int64(0); lpn < coldPages; lpn++ {
 			if err := l.WritePage(lpn, page); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		g := sim.NewRNG(seed)
@@ -186,7 +215,7 @@ func E6Static(seed int64) (*Table, error) {
 			lpn := coldPages + int64(g.Intn(16))
 			page[0] = byte(i)
 			if err := l.WritePage(lpn, page); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		counts := dev.EraseCounts()
@@ -203,11 +232,16 @@ func E6Static(seed int64) (*Table, error) {
 		if threshold > 0 {
 			name = fmt.Sprintf("on (delta %d)", threshold)
 		}
-		t.AddRow(name,
+		rows[i] = []string{name,
 			fmt.Sprintf("%.2f", dev.Stats().EraseCountCoV),
-			fmt.Sprint(maxC), fmt.Sprint(minC), fmt.Sprint(maxC-minC),
-			fmt.Sprint(l.Stats().StaticMoves))
+			fmt.Sprint(maxC), fmt.Sprint(minC), fmt.Sprint(maxC - minC),
+			fmt.Sprint(l.Stats().StaticMoves)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.addRows(rows)
 	t.Notes = append(t.Notes,
 		"without static moves, cold blocks sit at ~0 erases while the hot region wears;",
 		"with them, the spread stays bounded by the threshold and device lifetime extends")
@@ -219,7 +253,7 @@ func E6Static(seed int64) (*Table, error) {
 // prove necessary to partition flash memory into two or more banks". A
 // foreground reader shares the device with a background write-and-erase
 // stream; more banks mean fewer reads queue behind busy banks.
-func E7Banking(seed int64) (*Table, error) {
+func E7Banking(env *Env, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
 		Title:   "foreground read latency vs flash bank count (background log writes + erases)",
@@ -230,16 +264,20 @@ func E7Banking(seed int64) (*Table, error) {
 		blockBytes  = 64 * 1024
 		reads       = 4000
 	)
-	for _, banks := range []int{1, 2, 4, 8} {
+	bankCounts := []int{1, 2, 4, 8}
+	rows := make([][]string, len(bankCounts))
+	err := env.ForEach(len(bankCounts), func(idx int, je *Env) error {
+		banks := bankCounts[idx]
 		clock := sim.NewClock()
 		dev, err := flash.New(flash.Config{
 			Banks:         banks,
 			BlocksPerBank: totalBlocks / banks,
 			BlockBytes:    blockBytes,
 			Params:        device.IntelFlash,
+			Obs:           je.Obs(),
 		}, clock, sim.NewEnergyMeter())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g := sim.NewRNG(seed)
 		hist := sim.NewHistogram("read")
@@ -288,7 +326,7 @@ func E7Banking(seed int64) (*Table, error) {
 			before := dev.Stats().ReadStallNs
 			lat, err := dev.Read(addr, buf)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if dev.Stats().ReadStallNs > before {
 				stalled++
@@ -296,15 +334,20 @@ func E7Banking(seed int64) (*Table, error) {
 			hist.ObserveDuration(lat)
 		}
 		elapsed := clock.Now().Seconds()
-		t.AddRow(fmt.Sprint(banks),
+		rows[idx] = []string{fmt.Sprint(banks),
 			fmtDur(sim.Duration(hist.Mean())),
 			fmtDur(sim.Duration(hist.Quantile(0.5))),
 			fmtDur(sim.Duration(hist.Quantile(0.99))),
 			fmtDur(sim.Duration(hist.Max())),
 			fmt.Sprintf("%.1f%%", float64(stalled)/reads*100),
 			fmt.Sprintf("%.2f MB/s", float64(programs)*4096/(1<<20)/elapsed),
-		)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.addRows(rows)
 	t.Notes = append(t.Notes,
 		"one bank: reads queue behind 41ms programs and 1.6s erases; more banks isolate them")
 	return t, nil
@@ -316,7 +359,7 @@ func E7Banking(seed int64) (*Table, error) {
 // With four banks, it compares writes striped across all four (mixed)
 // against writes confined to one write bank with the read-mostly data in
 // the other three (segregated).
-func E7Segregation(seed int64) (*Table, error) {
+func E7Segregation(env *Env, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "E7b",
 		Title:   "read-mostly bank segregation (4 banks, same background write load)",
@@ -328,16 +371,20 @@ func E7Segregation(seed int64) (*Table, error) {
 		blockBytes  = 64 * 1024
 		reads       = 4000
 	)
-	for _, segregated := range []bool{false, true} {
+	layouts := []bool{false, true}
+	rows := make([][]string, len(layouts))
+	err := env.ForEach(len(layouts), func(idx int, je *Env) error {
+		segregated := layouts[idx]
 		clock := sim.NewClock()
 		dev, err := flash.New(flash.Config{
 			Banks:         banks,
 			BlocksPerBank: totalBlocks / banks,
 			BlockBytes:    blockBytes,
 			Params:        device.IntelFlash,
+			Obs:           je.Obs(),
 		}, clock, sim.NewEnergyMeter())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g := sim.NewRNG(seed)
 		hist := sim.NewHistogram("read")
@@ -392,7 +439,7 @@ func E7Segregation(seed int64) (*Table, error) {
 			before := dev.Stats().ReadStallNs
 			lat, err := dev.Read(addr, buf)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if dev.Stats().ReadStallNs > before {
 				stalled++
@@ -403,12 +450,17 @@ func E7Segregation(seed int64) (*Table, error) {
 		if segregated {
 			name = "segregated (read-mostly banks + one write bank)"
 		}
-		t.AddRow(name,
+		rows[idx] = []string{name,
 			fmtDur(sim.Duration(hist.Mean())),
 			fmtDur(sim.Duration(hist.Quantile(0.99))),
 			fmt.Sprintf("%.1f%%", float64(stalled)/reads*100),
-		)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.addRows(rows)
 	t.Notes = append(t.Notes,
 		"segregation removes read/write collisions entirely, at the cost of concentrating wear",
 		"in the write bank — which the translation layer's wear leveling must then absorb")

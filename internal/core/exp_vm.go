@@ -7,6 +7,7 @@ import (
 	"ssmobile/internal/disk"
 	"ssmobile/internal/dram"
 	"ssmobile/internal/flash"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/vm"
 )
@@ -16,7 +17,7 @@ import (
 // system that must fetch into a buffer cache — and that mapping files
 // costs no copies at all. It reads a working set of files through four
 // paths and reports the total latency and the DRAM consumed by copies.
-func E4ReadInPlace() (*Table, error) {
+func E4ReadInPlace(env *Env) (*Table, error) {
 	const (
 		fileCount = 24
 		fileSize  = 64 * 1024
@@ -27,7 +28,7 @@ func E4ReadInPlace() (*Table, error) {
 	}
 
 	// Solid-state paths.
-	solid, err := NewSolidState(SolidStateConfig{DRAMBytes: 8 << 20, FlashBytes: 32 << 20})
+	solid, err := NewSolidState(SolidStateConfig{DRAMBytes: 8 << 20, FlashBytes: 32 << 20, Obs: env.Obs()})
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +72,7 @@ func E4ReadInPlace() (*Table, error) {
 	framesUsed := solid.VM.Stats().FramesInUse
 
 	// Disk paths.
-	dsys, err := NewDisk(DiskConfig{DRAMBytes: 8 << 20, DiskBytes: 32 << 20})
+	dsys, err := NewDisk(DiskConfig{DRAMBytes: 8 << 20, DiskBytes: 32 << 20, Obs: env.Obs()})
 	if err != nil {
 		return nil, err
 	}
@@ -139,27 +140,35 @@ func E4ReadInPlace() (*Table, error) {
 // flash without first loading their code segment into DRAM, saving both
 // the copy time and the duplicate DRAM. Launch latency = map (or load)
 // plus one full pass of instruction fetch over the code segment.
-func E5XIP() (*Table, error) {
+func E5XIP(env *Env) (*Table, error) {
 	t := &Table{
 		ID:      "E5",
 		Title:   "program launch: execute-in-place from flash vs load-then-run",
 		Headers: []string{"code size", "XIP (flash)", "load flash->DRAM", "load disk->DRAM", "XIP DRAM saved"},
 	}
-	for _, size := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
-		xip, err := launchXIP(size)
+	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	rows := make([][]string, len(sizes))
+	err := env.ForEach(len(sizes), func(i int, je *Env) error {
+		size := sizes[i]
+		xip, err := launchXIP(je.Obs(), size)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		loadFlash, err := launchLoad(size, false)
+		loadFlash, err := launchLoad(je.Obs(), size, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		loadDisk, err := launchLoad(size, true)
+		loadDisk, err := launchLoad(je.Obs(), size, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(fmtBytes(int64(size)), fmtDur(xip), fmtDur(loadFlash), fmtDur(loadDisk), fmtBytes(int64(size)))
+		rows[i] = []string{fmtBytes(int64(size)), fmtDur(xip), fmtDur(loadFlash), fmtDur(loadDisk), fmtBytes(int64(size))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.addRows(rows)
 	t.Notes = append(t.Notes,
 		"XIP pays flash fetch during execution but skips the load copy entirely (HP OmniBook style);",
 		"loading from disk also pays spin-up and seeks")
@@ -168,14 +177,14 @@ func E5XIP() (*Table, error) {
 
 // xipRig builds a DRAM + code-card flash pair with a program staged in
 // flash, as an installer would leave it.
-func xipRig(codeSize int) (*sim.Clock, *dram.Device, *flash.Device, *vm.VM, error) {
+func xipRig(o *obs.Observer, codeSize int) (*sim.Clock, *dram.Device, *flash.Device, *vm.VM, error) {
 	clock := sim.NewClock()
 	meter := sim.NewEnergyMeter()
-	dr, err := dram.New(dram.Config{CapacityBytes: 8 << 20, Params: device.NECDram}, clock, meter)
+	dr, err := dram.New(dram.Config{CapacityBytes: 8 << 20, Params: device.NECDram, Obs: o}, clock, meter)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	fd, err := flash.New(flash.Config{Banks: 2, BlocksPerBank: 64, BlockBytes: 64 << 10, Params: device.IntelFlash}, clock, meter)
+	fd, err := flash.New(flash.Config{Banks: 2, BlocksPerBank: 64, BlockBytes: 64 << 10, Params: device.IntelFlash, Obs: o}, clock, meter)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -198,15 +207,15 @@ func xipRig(codeSize int) (*sim.Clock, *dram.Device, *flash.Device, *vm.VM, erro
 		addr += int64(n)
 		code = code[n:]
 	}
-	v, err := vm.New(vm.Config{PageBytes: 4096, DRAMBase: 0, DRAMBytes: 6 << 20}, clock, dr, fd)
+	v, err := vm.New(vm.Config{PageBytes: 4096, DRAMBase: 0, DRAMBytes: 6 << 20, Obs: o}, clock, dr, fd)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
 	return clock, dr, fd, v, nil
 }
 
-func launchXIP(codeSize int) (sim.Duration, error) {
-	clock, _, _, v, err := xipRig(codeSize)
+func launchXIP(o *obs.Observer, codeSize int) (sim.Duration, error) {
+	clock, _, _, v, err := xipRig(o, codeSize)
 	if err != nil {
 		return 0, err
 	}
@@ -221,8 +230,8 @@ func launchXIP(codeSize int) (sim.Duration, error) {
 	return clock.Now().Sub(start), nil
 }
 
-func launchLoad(codeSize int, fromDisk bool) (sim.Duration, error) {
-	clock, dr, fd, v, err := xipRig(codeSize)
+func launchLoad(o *obs.Observer, codeSize int, fromDisk bool) (sim.Duration, error) {
+	clock, dr, fd, v, err := xipRig(o, codeSize)
 	if err != nil {
 		return 0, err
 	}
@@ -232,6 +241,7 @@ func launchLoad(codeSize int, fromDisk bool) (sim.Duration, error) {
 		dk, err = disk.New(disk.Config{
 			CapacityBytes: 20 << 20, Params: device.KittyHawk,
 			SpindownTimeout: 5 * sim.Second,
+			Obs:             o,
 		}, clock, meter)
 		if err != nil {
 			return 0, err

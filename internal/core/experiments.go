@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"ssmobile/internal/obs"
 )
 
-// Runner produces the table(s) of one experiment.
-type Runner func() ([]*Table, error)
+// Runner produces the table(s) of one experiment under an execution
+// environment (observer + scheduler; see engine.go).
+type Runner func(*Env) ([]*Table, error)
 
-func one(f func() (*Table, error)) Runner {
-	return func() ([]*Table, error) {
-		t, err := f()
+func one(f func(*Env) (*Table, error)) Runner {
+	return func(env *Env) ([]*Table, error) {
+		t, err := f(env)
 		if err != nil {
 			return nil, err
 		}
@@ -20,81 +23,49 @@ func one(f func() (*Table, error)) Runner {
 }
 
 // Registry maps experiment ids (e1..e10) to runners, with all stochastic
-// experiments tied to the given seed for reproducibility.
+// experiments tied to the given seed for reproducibility. Experiments
+// with several independent tables build them as one ForEach batch, so a
+// parallel environment overlaps them.
 func Registry(seed int64) map[string]Runner {
 	return map[string]Runner{
-		"e1": func() ([]*Table, error) {
-			a, err := E1DeviceComparison()
-			if err != nil {
-				return nil, err
-			}
-			b, err := E1BatteryLife()
-			if err != nil {
-				return nil, err
-			}
-			c, err := E1FullStack()
-			if err != nil {
-				return nil, err
-			}
-			return []*Table{a, b, c}, nil
+		"e1": func(env *Env) ([]*Table, error) {
+			return tableSet(env,
+				E1DeviceComparison,
+				func(je *Env) (*Table, error) { return E1BatteryLife() },
+				E1FullStack,
+			)
 		},
-		"e2": one(E2CostCrossover),
-		"e3": func() ([]*Table, error) {
-			a, err := E3WriteBuffering(seed)
-			if err != nil {
-				return nil, err
-			}
-			b, err := E3FlushPolicyAblation(seed)
-			if err != nil {
-				return nil, err
-			}
-			c, err := E3BlockSizeAblation(seed)
-			if err != nil {
-				return nil, err
-			}
-			return []*Table{a, b, c}, nil
+		"e2": one(func(*Env) (*Table, error) { return E2CostCrossover() }),
+		"e3": func(env *Env) ([]*Table, error) {
+			return tableSet(env,
+				func(je *Env) (*Table, error) { return E3WriteBuffering(je, seed) },
+				func(je *Env) (*Table, error) { return E3FlushPolicyAblation(je, seed) },
+				func(je *Env) (*Table, error) { return E3BlockSizeAblation(je, seed) },
+			)
 		},
 		"e4": one(E4ReadInPlace),
 		"e5": one(E5XIP),
-		"e6": func() ([]*Table, error) {
-			a, err := E6WearLeveling(seed)
-			if err != nil {
-				return nil, err
-			}
-			b, err := E6Lifetime(seed)
-			if err != nil {
-				return nil, err
-			}
-			c, err := E6Static(seed)
-			if err != nil {
-				return nil, err
-			}
-			return []*Table{a, b, c}, nil
+		"e6": func(env *Env) ([]*Table, error) {
+			return tableSet(env,
+				func(je *Env) (*Table, error) { return E6WearLeveling(je, seed) },
+				func(je *Env) (*Table, error) { return E6Lifetime(je, seed) },
+				func(je *Env) (*Table, error) { return E6Static(je, seed) },
+			)
 		},
-		"e7": func() ([]*Table, error) {
-			a, err := E7Banking(seed)
-			if err != nil {
-				return nil, err
-			}
-			b, err := E7Segregation(seed)
-			if err != nil {
-				return nil, err
-			}
-			return []*Table{a, b}, nil
+		"e7": func(env *Env) ([]*Table, error) {
+			return tableSet(env,
+				func(je *Env) (*Table, error) { return E7Banking(je, seed) },
+				func(je *Env) (*Table, error) { return E7Segregation(je, seed) },
+			)
 		},
-		"e8": one(func() (*Table, error) { return E8Sizing(seed) }),
-		"e9": func() ([]*Table, error) {
-			a, err := E9EndToEnd(seed)
-			if err != nil {
-				return nil, err
-			}
-			b, err := E9FlashParts(seed)
-			if err != nil {
-				return nil, err
-			}
-			return []*Table{a, b}, nil
+		"e8": one(func(env *Env) (*Table, error) { return E8Sizing(env, seed) }),
+		"e9": func(env *Env) ([]*Table, error) {
+			return tableSet(env,
+				func(je *Env) (*Table, error) { return E9EndToEnd(je, seed) },
+				func(je *Env) (*Table, error) { return E9FlashParts(je, seed) },
+			)
 		},
-		"e10": func() ([]*Table, error) { return E10CrashAndBattery(seed) },
+		"e10": func(env *Env) ([]*Table, error) { return E10CrashAndBattery(env, seed) },
 	}
 }
 
@@ -130,13 +101,21 @@ func ExperimentIDs() []string {
 	return ids
 }
 
-// RunExperiment runs one experiment by id and prints its tables.
+// RunExperiment runs one experiment by id sequentially and prints its
+// tables.
 func RunExperiment(w io.Writer, id string, seed int64) error {
+	return RunExperimentParallel(w, id, seed, 1)
+}
+
+// RunExperimentParallel runs one experiment by id with up to par
+// concurrent sweep configurations and prints its tables. Output and
+// telemetry are identical to the sequential run for any par.
+func RunExperimentParallel(w io.Writer, id string, seed int64, par int) error {
 	r, ok := Registry(seed)[id]
 	if !ok {
 		return fmt.Errorf("core: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
-	tables, err := r()
+	tables, err := r(NewEnv(nil, par))
 	if err != nil {
 		return fmt.Errorf("experiment %s: %w", id, err)
 	}
@@ -146,12 +125,39 @@ func RunExperiment(w io.Writer, id string, seed int64) error {
 	return nil
 }
 
-// RunAll runs every experiment in order.
+// RunAll runs every experiment in order, sequentially.
 func RunAll(w io.Writer, seed int64) error {
-	for _, id := range ExperimentIDs() {
-		if err := RunExperiment(w, id, seed); err != nil {
-			return err
+	return RunAllParallel(w, seed, 1)
+}
+
+// RunAllParallel runs every experiment with up to par concurrent jobs
+// (par <= 1 is the plain sequential run). Tables are buffered per
+// experiment and printed in experiment-id order, and per-job telemetry
+// is merged in that same order, so stdout, the metrics dump, and the
+// trace are byte-identical to the sequential run for any par. On error,
+// every experiment before the first failing id is still printed (and its
+// telemetry merged), matching what a sequential run would have emitted
+// before stopping.
+func RunAllParallel(w io.Writer, seed int64, par int) error {
+	ids := ExperimentIDs()
+	reg := Registry(seed)
+	root := &Env{obs: obs.Default(), sched: newSched(par)}
+	results := make([][]*Table, len(ids))
+	err := root.ForEach(len(ids), func(i int, je *Env) error {
+		tables, err := reg[ids[i]](je)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", ids[i], err)
+		}
+		results[i] = tables
+		return nil
+	})
+	for _, tables := range results {
+		if tables == nil {
+			break // first failing (or never-run) experiment
+		}
+		for _, t := range tables {
+			t.Fprint(w)
 		}
 	}
-	return nil
+	return err
 }

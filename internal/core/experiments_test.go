@@ -29,7 +29,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, id := range ExperimentIDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			tables, err := Registry(testSeed)[id]()
+			tables, err := Registry(testSeed)[id](NewEnv(nil, 1))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,7 +79,7 @@ func TestE3ReproducesBakerReduction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := replayThroughBuffer(tr, 1<<20, 30*sim.Second, wbuf.EvictLRW)
+	st, err := replayThroughBuffer(nil, tr, 1<<20, 30*sim.Second, wbuf.EvictLRW)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestE3ReproducesBakerReduction(t *testing.T) {
 	// And the sweep is monotone non-decreasing in buffer size.
 	prev := -1.0
 	for _, mb := range []float64{0, 0.25, 0.5, 1, 2} {
-		s, err := replayThroughBuffer(tr, int64(mb*float64(1<<20)), 30*sim.Second, wbuf.EvictLRW)
+		s, err := replayThroughBuffer(nil, tr, int64(mb*float64(1<<20)), 30*sim.Second, wbuf.EvictLRW)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +106,7 @@ func TestE6WearShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	tab, err := E6WearLeveling(testSeed)
+	tab, err := E6WearLeveling(NewEnv(nil, 1), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestE7BankingShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	tab, err := E7Banking(testSeed)
+	tab, err := E7Banking(NewEnv(nil, 1), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}

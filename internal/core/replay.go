@@ -42,7 +42,13 @@ func payload(buf []byte, file trace.FileID, off int64) {
 // histograms and in the default observer's op_latency_ns aggregates, and
 // each op is traced as a span of layer "replay".
 func Replay(sys System, tr *trace.Trace) (ReplayStats, error) {
-	o := obs.Default()
+	return ReplayObs(obs.Default(), sys, tr)
+}
+
+// ReplayObs is Replay recording telemetry into an explicit observer
+// instead of the process default — the form the parallel experiment
+// engine uses, so concurrent replays never interleave their spans.
+func ReplayObs(o *obs.Observer, sys System, tr *trace.Trace) (ReplayStats, error) {
 	hist := func(op string) *obs.Histogram {
 		return o.Histogram("op_latency_ns", obs.Labels{"layer": "replay", "op": op})
 	}

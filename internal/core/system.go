@@ -149,6 +149,11 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 	clock := sim.NewClock()
 	meter := sim.NewEnergyMeter()
 	o := obs.Or(cfg.Obs)
+	// Pin the resolved observer into the retained config, so everything
+	// built later from s.cfg (the FTL, and the remount-after-power-failure
+	// path) writes to the same observer this construction does — never to
+	// whatever the process default happens to be at that point.
+	cfg.Obs = o
 	o.GaugeFunc("dropped_negative_charges", obs.Labels{"layer": "core", "system": "solid-state"},
 		func() float64 { return float64(meter.DroppedNegativeCharges()) })
 
@@ -461,6 +466,7 @@ func NewDisk(cfg DiskConfig) (*DiskSystem, error) {
 	clock := sim.NewClock()
 	meter := sim.NewEnergyMeter()
 	o := obs.Or(cfg.Obs)
+	cfg.Obs = o
 	o.GaugeFunc("dropped_negative_charges", obs.Labels{"layer": "core", "system": "disk"},
 		func() float64 { return float64(meter.DroppedNegativeCharges()) })
 	dr, err := dram.New(dram.Config{CapacityBytes: cfg.DRAMBytes, Params: device.NECDram, Obs: o}, clock, meter)

@@ -33,6 +33,13 @@ func (t *Table) AddRow(cells ...any) {
 	t.Rows = append(t.Rows, row)
 }
 
+// addRows appends pre-rendered rows in slice order; the parallel sweeps
+// build one row per job and append the batch once it completes, keeping
+// row order independent of job scheduling.
+func (t *Table) addRows(rows [][]string) {
+	t.Rows = append(t.Rows, rows...)
+}
+
 // Fprint renders the table with aligned columns.
 func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title)

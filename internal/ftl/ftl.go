@@ -158,9 +158,15 @@ type FTL struct {
 	state   []pageState
 	blocks  []blockInfo
 
-	freeByBank [][]int
+	freeByBank []*bankPool
 	freeCount  int
 	nextBank   int
+
+	victims  *victimIndex     // victim selection index; nil for PolicyDirect
+	wear     *lazyHeap        // cold-block index; nil unless static wear leveling is on
+	maxErase int64            // running device-wide max erase count
+	scanMode bool             // tests: decide via the linear-scan reference paths
+	onClean  func(victim int) // test hook: observes the victim sequence
 
 	hotActive, coldActive int // block ids, -1 when none
 	hotPtr, coldPtr       int
@@ -204,7 +210,7 @@ func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 		reverse:       make([]int64, total),
 		state:         make([]pageState, total),
 		blocks:        make([]blockInfo, nb),
-		freeByBank:    make([][]int, dev.Banks()),
+		freeByBank:    make([]*bankPool, dev.Banks()),
 		hotActive:     -1,
 		coldActive:    -1,
 	}
@@ -223,12 +229,22 @@ func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 		f.mapping[i] = -1
 		f.reverse[i] = -1
 	}
+	for bank := range f.freeByBank {
+		p := newBankPool()
+		p.init(func(b int) int64 { return dev.EraseCount(b) })
+		f.freeByBank[bank] = p
+	}
 	for b := 0; b < nb; b++ {
 		f.blocks[b].isFree = true
-		bank := dev.BankOf(b)
-		f.freeByBank[bank] = append(f.freeByBank[bank], b)
+		f.freeByBank[dev.BankOf(b)].add(b)
 	}
 	f.freeCount = nb
+	if cfg.Policy != PolicyDirect {
+		f.victims = newVictimIndex(cfg.Policy, ppb)
+		if cfg.WearDeltaThreshold > 0 {
+			f.wear = &lazyHeap{}
+		}
+	}
 
 	if cfg.Policy == PolicyDirect {
 		f.logicalPages = total
@@ -285,6 +301,7 @@ func (f *FTL) markDead(ppn int64) {
 	f.blocks[b].valid--
 	f.blocks[b].dead++
 	f.reverse[ppn] = -1
+	f.onPageDied(b)
 }
 
 // takeFreeBlock removes and returns a free block, preferring the least- or
@@ -298,23 +315,17 @@ func (f *FTL) takeFreeBlock(preferWorn bool) (int, bool) {
 	banks := len(f.freeByBank)
 	for i := 0; i < banks; i++ {
 		bank := (f.nextBank + i) % banks
-		list := f.freeByBank[bank]
-		if len(list) == 0 {
+		pool := f.freeByBank[bank]
+		if pool.len() == 0 {
 			continue
 		}
-		best := 0
+		var blk int
 		if f.cfg.HotCold {
-			for j := 1; j < len(list); j++ {
-				cj := f.dev.EraseCount(list[j])
-				cb := f.dev.EraseCount(list[best])
-				if (preferWorn && cj > cb) || (!preferWorn && cj < cb) {
-					best = j
-				}
-			}
+			blk = pool.best(preferWorn)
+		} else {
+			blk = pool.first()
 		}
-		blk := list[best]
-		list[best] = list[len(list)-1]
-		f.freeByBank[bank] = list[:len(list)-1]
+		pool.remove(blk)
 		f.freeCount--
 		f.blocks[blk].isFree = false
 		f.nextBank = (bank + 1) % banks
@@ -327,7 +338,7 @@ func (f *FTL) releaseFreeBlock(blk int) {
 	f.blocks[blk].isFree = true
 	f.blocks[blk].valid = 0
 	f.blocks[blk].dead = 0
-	f.freeByBank[f.dev.BankOf(blk)] = append(f.freeByBank[f.dev.BankOf(blk)], blk)
+	f.freeByBank[f.dev.BankOf(blk)].add(blk)
 	f.freeCount++
 }
 
@@ -342,6 +353,7 @@ func (f *FTL) allocPage(hot bool) (int64, error) {
 	if *active == -1 || *ptr >= f.pagesPerBlock {
 		if *active != -1 {
 			f.blocks[*active].isActive = false
+			f.onBlockClosed(*active)
 		}
 		blk, ok := f.takeFreeBlock(!hot && f.cfg.HotCold)
 		if !ok {
@@ -543,22 +555,16 @@ func (f *FTL) levelWear() error {
 	if f.cfg.WearDeltaThreshold <= 0 || f.cfg.Policy == PolicyDirect {
 		return nil
 	}
-	var maxCount int64
+	var maxCount, coldCount int64
 	coldest := -1
-	var coldCount int64
-	for b := 0; b < f.numBlocks; b++ {
-		info := &f.blocks[b]
-		c := f.dev.EraseCount(b)
-		if c > maxCount {
-			maxCount = c
-		}
-		if info.isFree || info.isActive || info.retired {
-			continue
-		}
-		if coldest == -1 || c < coldCount {
-			coldest = b
-			coldCount = c
-		}
+	if f.scanMode || f.wear == nil {
+		maxCount, coldest, coldCount = f.wearScan()
+	} else {
+		// Erase counts only grow, so the running maximum equals the scan's
+		// device-wide maximum; the wear heap yields the same coldest block
+		// (lowest erase count, ties to the lowest id) the scan would find.
+		maxCount = f.maxErase
+		coldest, coldCount = f.wearColdest()
 	}
 	if coldest == -1 || maxCount-coldCount <= f.cfg.WearDeltaThreshold {
 		return nil
@@ -592,9 +598,34 @@ func (f *FTL) CleanIdle() error {
 	return nil
 }
 
+// wearScan computes the device-wide maximum erase count and the coldest
+// closed block by linear scan — the reference the wear index is checked
+// against (see CheckInvariants and the equivalence tests).
+func (f *FTL) wearScan() (maxCount int64, coldest int, coldCount int64) {
+	coldest = -1
+	for b := 0; b < f.numBlocks; b++ {
+		info := &f.blocks[b]
+		c := f.dev.EraseCount(b)
+		if c > maxCount {
+			maxCount = c
+		}
+		if info.isFree || info.isActive || info.retired {
+			continue
+		}
+		if coldest == -1 || c < coldCount {
+			coldest = b
+			coldCount = c
+		}
+	}
+	return maxCount, coldest, coldCount
+}
+
 // cleanOne relocates the victim's live pages to the cold stream and
 // erases it.
 func (f *FTL) cleanOne(victim int) (err error) {
+	if f.onClean != nil {
+		f.onClean(victim)
+	}
 	sp := f.span("clean")
 	defer func() { sp.End(int64(f.pagesPerBlock)*int64(f.cfg.PageBytes), err) }()
 	f.cleans.Inc()
@@ -639,6 +670,7 @@ func (f *FTL) eraseBlock(victim int) error {
 		}
 		return err
 	}
+	f.noteErase(victim)
 	// Reset page states for the erased block.
 	base := int64(victim) * int64(f.pagesPerBlock)
 	for i := 0; i < f.pagesPerBlock; i++ {
@@ -664,7 +696,19 @@ func (f *FTL) retireBlock(blk int) {
 }
 
 // pickVictim chooses the next block to clean, or -1 if none is eligible.
+// The indexed path is O(log n) amortized; the linear scan is retained as
+// the reference implementation (and serves PolicyDirect, which never
+// cleans through this path in practice).
 func (f *FTL) pickVictim() int {
+	if f.victims == nil || f.scanMode {
+		return f.pickVictimScan()
+	}
+	return f.pickVictimIndexed()
+}
+
+// pickVictimScan is the original O(numBlocks) victim scan, kept as the
+// behavioural reference for the victim index.
+func (f *FTL) pickVictimScan() int {
 	best := -1
 	var bestScore float64
 	now := f.clock.Now()
@@ -816,6 +860,22 @@ func (f *FTL) CheckInvariants() error {
 		if valid != f.blocks[b].valid || dead != f.blocks[b].dead {
 			return fmt.Errorf("block %d counts valid=%d/%d dead=%d/%d",
 				b, f.blocks[b].valid, valid, f.blocks[b].dead, dead)
+		}
+	}
+	if f.victims != nil {
+		if got, want := f.pickVictimIndexed(), f.pickVictimScan(); got != want {
+			return fmt.Errorf("victim index picks %d, reference scan picks %d", got, want)
+		}
+	}
+	if f.wear != nil {
+		maxCount, coldest, coldCount := f.wearScan()
+		if f.maxErase != maxCount {
+			return fmt.Errorf("maintained max erase %d, scan max %d", f.maxErase, maxCount)
+		}
+		ic, icc := f.wearColdest()
+		if ic != coldest || (coldest != -1 && icc != coldCount) {
+			return fmt.Errorf("wear index coldest %d(count %d), scan coldest %d(count %d)",
+				ic, icc, coldest, coldCount)
 		}
 	}
 	return nil

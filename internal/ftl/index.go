@@ -1,0 +1,430 @@
+package ftl
+
+import "container/heap"
+
+// This file holds the incremental indexes that replace the translation
+// layer's per-allocation linear scans:
+//
+//   - victimIndex: one lazily-invalidated min-heap per cleaning policy
+//     (plus one ordered bucket per valid-count for cost-benefit), so
+//     pickVictim is O(log n) amortized instead of O(numBlocks);
+//   - the wear index (wearHeap + a maintained maximum erase count), so
+//     static wear leveling stops rescanning every block on every write;
+//   - bankPool: the free-block pool, still the exact swap-remove list the
+//     scan-based code used (tie-breaks depend on its internal order) but
+//     indexed by two position-aware heaps so wear-aware allocation is
+//     O(log n) instead of a scan of the free list.
+//
+// Every index reproduces the linear scans' choices exactly — including
+// tie-breaking — which the policy-equivalence tests assert against the
+// retained scan implementations (pickVictimScan, levelWearScan).
+
+// lazyEntry is one heap element: a block snapshotted with the two sort
+// keys it had when pushed. Entries are never updated in place; a block
+// whose keys change is re-pushed, and entries whose snapshot no longer
+// matches the block's live state are discarded when they surface.
+type lazyEntry struct {
+	k1, k2 int64
+	block  int
+}
+
+// lazyHeap is a binary min-heap over (k1, k2, block) with lazy deletion.
+type lazyHeap struct {
+	es []lazyEntry
+}
+
+func (h *lazyHeap) len() int { return len(h.es) }
+
+func entryLess(a, b lazyEntry) bool {
+	if a.k1 != b.k1 {
+		return a.k1 < b.k1
+	}
+	if a.k2 != b.k2 {
+		return a.k2 < b.k2
+	}
+	return a.block < b.block
+}
+
+func (h *lazyHeap) push(e lazyEntry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryLess(h.es[i], h.es[p]) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *lazyHeap) popTop() {
+	n := len(h.es) - 1
+	h.es[0] = h.es[n]
+	h.es = h.es[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && entryLess(h.es[l], h.es[m]) {
+			m = l
+		}
+		if r < n && entryLess(h.es[r], h.es[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.es[i], h.es[m] = h.es[m], h.es[i]
+		i = m
+	}
+}
+
+// peekValid discards stale tops until the minimum live entry surfaces and
+// returns it without removing it (the entry stays until the block's state
+// changes and invalidates it). valid reports whether an entry still
+// matches the block's live state.
+func (h *lazyHeap) peekValid(valid func(lazyEntry) bool) (lazyEntry, bool) {
+	for len(h.es) > 0 {
+		if valid(h.es[0]) {
+			return h.es[0], true
+		}
+		h.popTop()
+	}
+	return lazyEntry{}, false
+}
+
+// compact drops every stale entry in one pass, bounding heap growth on
+// long runs (each overwrite pushes an entry; without compaction the heap
+// would grow with total writes, not with live blocks).
+func (h *lazyHeap) compact(valid func(lazyEntry) bool) {
+	kept := h.es[:0]
+	for _, e := range h.es {
+		if valid(e) {
+			kept = append(kept, e)
+		}
+	}
+	h.es = kept
+	// Re-establish the heap property bottom-up.
+	n := len(h.es)
+	for i := n/2 - 1; i >= 0; i-- {
+		j := i
+		for {
+			l, r := 2*j+1, 2*j+2
+			m := j
+			if l < n && entryLess(h.es[l], h.es[m]) {
+				m = l
+			}
+			if r < n && entryLess(h.es[r], h.es[m]) {
+				m = r
+			}
+			if m == j {
+				break
+			}
+			h.es[j], h.es[m] = h.es[m], h.es[j]
+			j = m
+		}
+	}
+}
+
+// victimIndex tracks cleaning-eligible blocks (closed, not retired, at
+// least one dead page) so pickVictim needs no device-wide scan.
+type victimIndex struct {
+	policy Policy
+	// fifoGreedy holds (allocSeq, block) entries for FIFO and
+	// (-dead, block) entries for greedy — both "min wins" orders that
+	// reproduce the scan's strict-improvement tie-breaking.
+	fifoGreedy lazyHeap
+	// cbBuckets groups cost-benefit candidates by valid-page count; each
+	// bucket is ordered by (lastWrite, block). Within a bucket the score
+	// age×(1−u)/(1+u) is strictly monotone in age, so the bucket head is
+	// the bucket's best candidate and pickVictim only compares one head
+	// per bucket: O(pagesPerBlock), independent of device size.
+	cbBuckets []lazyHeap
+	pushes    int
+}
+
+func newVictimIndex(policy Policy, pagesPerBlock int) *victimIndex {
+	v := &victimIndex{policy: policy}
+	if policy == PolicyCostBenefit {
+		v.cbBuckets = make([]lazyHeap, pagesPerBlock)
+	}
+	return v
+}
+
+// eligible reports whether the block can be cleaned right now.
+func (f *FTL) victimEligible(b int) bool {
+	info := &f.blocks[b]
+	return !info.isFree && !info.isActive && !info.retired && info.dead > 0
+}
+
+// noteEligible records the block's current keys; callers invoke it
+// whenever a block enters the eligible set or an eligible block's keys
+// change (a page dies). Stale snapshots are discarded lazily.
+func (f *FTL) noteEligible(b int) {
+	v := f.victims
+	if v == nil || !f.victimEligible(b) {
+		return
+	}
+	info := &f.blocks[b]
+	switch v.policy {
+	case PolicyFIFO:
+		// allocSeq is frozen while the block is closed: one push per
+		// closure is enough, so only the 0→1 dead transition (or closing
+		// with dead pages) lands here — the caller filters.
+		v.fifoGreedy.push(lazyEntry{k1: info.allocSeq, block: b})
+	case PolicyCostBenefit:
+		v.cbBuckets[info.valid].push(lazyEntry{k1: int64(info.lastWrite), block: b})
+	default: // greedy, and the greedy fallback for unknown policies
+		v.fifoGreedy.push(lazyEntry{k1: -int64(info.dead), block: b})
+	}
+	v.pushes++
+	if v.pushes > 4*f.numBlocks+64 {
+		v.pushes = 0
+		f.compactVictims()
+	}
+}
+
+func (f *FTL) compactVictims() {
+	v := f.victims
+	switch v.policy {
+	case PolicyFIFO:
+		v.fifoGreedy.compact(func(e lazyEntry) bool {
+			return f.victimEligible(e.block) && f.blocks[e.block].allocSeq == e.k1
+		})
+	case PolicyCostBenefit:
+		for u := range v.cbBuckets {
+			u := u
+			v.cbBuckets[u].compact(func(e lazyEntry) bool {
+				info := &f.blocks[e.block]
+				return f.victimEligible(e.block) && info.valid == u && int64(info.lastWrite) == e.k1
+			})
+		}
+	default:
+		v.fifoGreedy.compact(func(e lazyEntry) bool {
+			return f.victimEligible(e.block) && -int64(f.blocks[e.block].dead) == e.k1
+		})
+	}
+}
+
+// pickVictimIndexed returns the same block pickVictimScan would, without
+// scanning: -1 if nothing is eligible.
+func (f *FTL) pickVictimIndexed() int {
+	v := f.victims
+	switch v.policy {
+	case PolicyFIFO:
+		e, ok := v.fifoGreedy.peekValid(func(e lazyEntry) bool {
+			return f.victimEligible(e.block) && f.blocks[e.block].allocSeq == e.k1
+		})
+		if !ok {
+			return -1
+		}
+		return e.block
+	case PolicyCostBenefit:
+		best := -1
+		var bestScore float64
+		now := f.clock.Now()
+		for u := range v.cbBuckets {
+			u := u
+			e, ok := v.cbBuckets[u].peekValid(func(e lazyEntry) bool {
+				info := &f.blocks[e.block]
+				return f.victimEligible(e.block) && info.valid == u && int64(info.lastWrite) == e.k1
+			})
+			if !ok {
+				continue
+			}
+			info := &f.blocks[e.block]
+			// The exact float expression the scan evaluates, so scores are
+			// bit-identical.
+			uu := float64(info.valid) / float64(f.pagesPerBlock)
+			age := now.Sub(info.lastWrite).Seconds() + 1e-9
+			score := age * (1 - uu) / (1 + uu)
+			if best == -1 || score > bestScore || (score == bestScore && e.block < best) {
+				best = e.block
+				bestScore = score
+			}
+		}
+		return best
+	default:
+		e, ok := v.fifoGreedy.peekValid(func(e lazyEntry) bool {
+			return f.victimEligible(e.block) && -int64(f.blocks[e.block].dead) == e.k1
+		})
+		if !ok {
+			return -1
+		}
+		return e.block
+	}
+}
+
+// onBlockClosed indexes a block the moment it stops being a log head: it
+// joins the wear index unconditionally and the victim index if any of its
+// pages already died while it was active.
+func (f *FTL) onBlockClosed(b int) {
+	if f.wear != nil {
+		f.wear.push(lazyEntry{k1: f.dev.EraseCount(b), block: b})
+	}
+	f.noteEligible(b)
+}
+
+// onPageDied updates the indexes after markDead on a closed block: greedy
+// re-keys on the new dead count, cost-benefit moves buckets, FIFO becomes
+// eligible on the first death only.
+func (f *FTL) onPageDied(b int) {
+	if f.victims == nil {
+		return
+	}
+	info := &f.blocks[b]
+	if info.isFree || info.isActive || info.retired {
+		return // an active head's deaths are indexed when it closes
+	}
+	if f.victims.policy == PolicyFIFO && info.dead != 1 {
+		return // already present with the same frozen key
+	}
+	f.noteEligible(b)
+}
+
+// wearColdest returns the least-erased closed block — the static
+// wear-leveling candidate — or -1 when no block is closed. Ties break to
+// the lowest block id, exactly as levelWearScan's strict < does.
+func (f *FTL) wearColdest() (int, int64) {
+	if f.wear == nil {
+		return -1, 0
+	}
+	e, ok := f.wear.peekValid(func(e lazyEntry) bool {
+		info := &f.blocks[e.block]
+		return !info.isFree && !info.isActive && !info.retired && f.dev.EraseCount(e.block) == e.k1
+	})
+	if !ok {
+		return -1, 0
+	}
+	return e.block, e.k1
+}
+
+// noteErase keeps the maintained maximum erase count current; erase
+// counts only grow, so the running maximum equals the scan's device-wide
+// maximum at every point.
+func (f *FTL) noteErase(b int) {
+	if c := f.dev.EraseCount(b); c > f.maxErase {
+		f.maxErase = c
+	}
+}
+
+// bankPool is one bank's free-block pool. The list field preserves the
+// legacy swap-remove list byte for byte — wear-aware allocation broke
+// ties by position in that list, and the experiments' outputs depend on
+// those choices — while two heaps order the same blocks by
+// (eraseCount, position) and (-eraseCount, position) so takeFreeBlock
+// peeks a root instead of scanning. Positions change only on the single
+// swap-remove a take performs, costing one heap Fix each.
+type bankPool struct {
+	list []int
+	pos  map[int]int
+	min  poolHeap
+	max  poolHeap
+}
+
+func newBankPool() *bankPool {
+	p := &bankPool{pos: make(map[int]int)}
+	p.min.p, p.max.p = p, p
+	p.max.desc = true
+	return p
+}
+
+// poolHeap orders a bank's free blocks by erase count (ascending, or
+// descending when desc) then by list position. It implements
+// container/heap.Interface; idx tracks each block's heap slot so position
+// changes can Fix in O(log n).
+type poolHeap struct {
+	p      *bankPool
+	blocks []int
+	idx    map[int]int
+	desc   bool
+	count  func(int) int64
+}
+
+func (h *poolHeap) Len() int { return len(h.blocks) }
+
+func (h *poolHeap) Less(i, j int) bool {
+	bi, bj := h.blocks[i], h.blocks[j]
+	ci, cj := h.count(bi), h.count(bj)
+	if ci != cj {
+		if h.desc {
+			return ci > cj
+		}
+		return ci < cj
+	}
+	return h.p.pos[bi] < h.p.pos[bj]
+}
+
+func (h *poolHeap) Swap(i, j int) {
+	h.blocks[i], h.blocks[j] = h.blocks[j], h.blocks[i]
+	h.idx[h.blocks[i]] = i
+	h.idx[h.blocks[j]] = j
+}
+
+func (h *poolHeap) Push(x any) {
+	b := x.(int)
+	h.idx[b] = len(h.blocks)
+	h.blocks = append(h.blocks, b)
+}
+
+func (h *poolHeap) Pop() any {
+	n := len(h.blocks) - 1
+	b := h.blocks[n]
+	h.blocks = h.blocks[:n]
+	delete(h.idx, b)
+	return b
+}
+
+func (p *bankPool) init(count func(int) int64) {
+	p.min.count, p.max.count = count, count
+	p.min.idx = make(map[int]int)
+	p.max.idx = make(map[int]int)
+}
+
+func (p *bankPool) len() int { return len(p.list) }
+
+// add appends the block, exactly where the legacy list put it.
+func (p *bankPool) add(b int) {
+	p.pos[b] = len(p.list)
+	p.list = append(p.list, b)
+	heap.Push(&p.min, b)
+	heap.Push(&p.max, b)
+}
+
+// best returns the block the legacy wear-aware scan would pick: the
+// first-positioned block with the extreme erase count.
+func (p *bankPool) best(preferWorn bool) int {
+	if preferWorn {
+		return p.max.blocks[0]
+	}
+	return p.min.blocks[0]
+}
+
+// first returns the block at list head — the non-wear-aware choice.
+func (p *bankPool) first() int { return p.list[0] }
+
+// remove deletes block b with the legacy swap-remove, then repairs both
+// heaps: the removed block leaves, and the block that slid into its list
+// position re-sorts under its new position key.
+func (p *bankPool) remove(b int) {
+	i := p.pos[b]
+	last := len(p.list) - 1
+	moved := p.list[last]
+	p.list[i] = moved
+	p.list = p.list[:last]
+	delete(p.pos, b)
+	heap.Remove(&p.min, p.min.idx[b])
+	heap.Remove(&p.max, p.max.idx[b])
+	if moved != b {
+		p.pos[moved] = i
+		heap.Fix(&p.min, p.min.idx[moved])
+		heap.Fix(&p.max, p.max.idx[moved])
+	}
+}
+
+// contains reports whether the block is in this pool.
+func (p *bankPool) contains(b int) bool {
+	_, ok := p.pos[b]
+	return ok
+}

@@ -146,21 +146,50 @@ func Mount(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 		}
 		f.blocks[b].allocSeq = f.nextAllocSeq()
 	}
+	f.rebuildIndexes()
 	return f, nil
 }
 
-// removeFromFreePool takes a specific block out of its bank's free list.
+// removeFromFreePool takes a specific block out of its bank's free pool
+// (the same swap-remove the pre-index free list performed, so the pool's
+// internal order — which wear-aware allocation ties break on — evolves
+// identically).
 func (f *FTL) removeFromFreePool(blk int) {
-	bank := f.dev.BankOf(blk)
-	list := f.freeByBank[bank]
-	for i, b := range list {
-		if b == blk {
-			list[i] = list[len(list)-1]
-			f.freeByBank[bank] = list[:len(list)-1]
-			f.freeCount--
-			f.blocks[blk].isFree = false
-			return
+	pool := f.freeByBank[f.dev.BankOf(blk)]
+	if !pool.contains(blk) {
+		return
+	}
+	pool.remove(blk)
+	f.freeCount--
+	f.blocks[blk].isFree = false
+}
+
+// rebuildIndexes recomputes the victim and wear indexes and the running
+// max erase count from the block states Mount reconstructed. The device
+// carries erase counts from its previous life, so the maximum must be
+// rescanned rather than assumed zero.
+func (f *FTL) rebuildIndexes() {
+	f.maxErase = 0
+	for b := 0; b < f.numBlocks; b++ {
+		if c := f.dev.EraseCount(b); c > f.maxErase {
+			f.maxErase = c
 		}
+	}
+	if f.victims != nil {
+		f.victims = newVictimIndex(f.cfg.Policy, f.pagesPerBlock)
+	}
+	if f.wear != nil {
+		f.wear = &lazyHeap{}
+	}
+	for b := 0; b < f.numBlocks; b++ {
+		info := &f.blocks[b]
+		if info.isFree || info.isActive || info.retired {
+			continue
+		}
+		if f.wear != nil {
+			f.wear.push(lazyEntry{k1: f.dev.EraseCount(b), block: b})
+		}
+		f.noteEligible(b)
 	}
 }
 

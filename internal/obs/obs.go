@@ -344,6 +344,44 @@ func (r *Registry) Histogram(name string, labels Labels) *Histogram {
 	return r.lookup(name, labels, KindHistogram, func() Collector { return NewHistogram(name, labels) }).(*Histogram)
 }
 
+// Merge folds every collector registered in src into r: counter values
+// add, histograms merge sample-exactly, and gauges adopt the source's
+// value (or read-through function — "most recent instance wins", exactly
+// as re-registering a GaugeFunc does). Collectors missing from r are
+// created, preserving src's registration order, so merging the same
+// sequence of registries always yields the same collector order — the
+// property that makes parallel experiment runs dump byte-identical
+// metrics. src must not be mutated concurrently with the merge.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil {
+		return
+	}
+	for _, c := range src.Collectors() {
+		name, labels := c.Name(), c.Labels()
+		switch sc := c.(type) {
+		case *Counter:
+			r.Counter(name, labels).Add(sc.Value())
+		case *Gauge:
+			g := r.Gauge(name, labels)
+			sc.mu.Lock()
+			fn := sc.fn
+			sc.mu.Unlock()
+			if fn != nil {
+				g.setFunc(fn)
+			} else {
+				g.Set(sc.Value())
+			}
+		case *Histogram:
+			dst := r.Histogram(name, labels)
+			sc.mu.Lock()
+			dst.mu.Lock()
+			dst.h.Merge(sc.h)
+			dst.mu.Unlock()
+			sc.mu.Unlock()
+		}
+	}
+}
+
 // Collectors returns the registered collectors in registration order.
 func (r *Registry) Collectors() []Collector {
 	r.mu.Lock()
@@ -408,6 +446,21 @@ func (o *Observer) Histogram(name string, labels Labels) *Histogram {
 		h.parent = o.Registry.Histogram(name, labels)
 	}
 	return h
+}
+
+// Merge folds src's registered metrics and retained spans into o (see
+// Registry.Merge and Tracer.Merge). A nil receiver or source is a no-op,
+// so callers can merge unconditionally.
+func (o *Observer) Merge(src *Observer) {
+	if o == nil || src == nil {
+		return
+	}
+	if o.Registry != nil {
+		o.Registry.Merge(src.Registry)
+	}
+	if o.Tracer != nil {
+		o.Tracer.Merge(src.Tracer)
+	}
 }
 
 // Default observer: the fallback layers use when their Config carries no

@@ -40,12 +40,15 @@ const DefaultTraceCapacity = 1 << 16
 
 // Tracer records spans into a bounded ring buffer. When the buffer is
 // full the oldest spans are overwritten; Dropped reports how many were
-// lost. Safe for concurrent use.
+// lost. Safe for concurrent use. The ring grows on demand up to its
+// capacity, so short-lived tracers (the parallel engine makes one per
+// job) cost only what they record.
 type Tracer struct {
-	mu    sync.Mutex
-	ring  []Span
-	next  int   // ring index the next span lands in
-	total int64 // spans ever recorded
+	mu       sync.Mutex
+	ring     []Span
+	capacity int
+	next     int   // ring index the next span lands in
+	total    int64 // spans ever recorded
 }
 
 // NewTracer returns a tracer retaining up to capacity spans (<=0 selects
@@ -54,7 +57,15 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{ring: make([]Span, 0, capacity)}
+	return &Tracer{capacity: capacity}
+}
+
+// Capacity reports how many spans the tracer retains before dropping.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
 }
 
 // Record appends one finished span.
@@ -63,11 +74,11 @@ func (t *Tracer) Record(sp Span) {
 		return
 	}
 	t.mu.Lock()
-	if len(t.ring) < cap(t.ring) {
+	if len(t.ring) < t.capacity {
 		t.ring = append(t.ring, sp)
 	} else {
 		t.ring[t.next] = sp
-		t.next = (t.next + 1) % cap(t.ring)
+		t.next = (t.next + 1) % t.capacity
 	}
 	t.total++
 	t.mu.Unlock()
@@ -104,6 +115,27 @@ func (t *Tracer) Dropped() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.total - int64(len(t.ring))
+}
+
+// Merge re-records src's retained spans into t (oldest first) and carries
+// src's drop count over, so the merged tracer reports the union's totals.
+// The parallel experiment engine merges per-job tracers in job order,
+// which keeps the retained-span sequence identical however the jobs were
+// scheduled. src must not be recording concurrently with the merge.
+func (t *Tracer) Merge(src *Tracer) {
+	if t == nil || src == nil {
+		return
+	}
+	spans := src.Spans()
+	dropped := src.Dropped()
+	for _, sp := range spans {
+		t.Record(sp)
+	}
+	if dropped > 0 {
+		t.mu.Lock()
+		t.total += dropped
+		t.mu.Unlock()
+	}
 }
 
 // Flush writes the retained spans through each sink in turn.

@@ -1,0 +1,50 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// command-line tools. Both profiles are the stock runtime/pprof formats,
+// readable with `go tool pprof`.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns a stop function
+// that must run before the process exits (os.Exit skips defers, so error
+// paths call it explicitly). An empty path is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap snapshots the heap to path after a GC, so the profile shows
+// live objects rather than garbage awaiting collection. An empty path is
+// a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -104,6 +104,28 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// Merge folds every sample recorded in src into h, as if each had been
+// Observed here. The parallel experiment engine uses it to combine
+// per-job histograms into the run-wide aggregate; merging preserves
+// count, sum, min, max and the bucket shape exactly, so quantile
+// estimates equal those of a single histogram fed the union of samples.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil || src.count == 0 {
+		return
+	}
+	h.count += src.count
+	h.sum += src.sum
+	if src.min < h.min {
+		h.min = src.min
+	}
+	if src.max > h.max {
+		h.max = src.max
+	}
+	for b, n := range src.buckets {
+		h.buckets[b] += n
+	}
+}
+
 // Quantile estimates the q-th quantile (q in [0,1]) from the buckets. The
 // exact min and max are returned for q=0 and q=1. An empty histogram
 // reports 0 and a single-sample histogram reports that sample exactly —

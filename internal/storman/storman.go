@@ -28,6 +28,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 
 	"ssmobile/internal/dram"
 	"ssmobile/internal/ftl"
@@ -421,13 +422,26 @@ func (m *Manager) InDRAM(key Key) bool {
 // DeleteObject drops every block of the object. DRAM-resident bytes are
 // absorbed (they never reach flash); flash pages are trimmed.
 func (m *Manager) DeleteObject(object uint64) error {
-	blocks := m.byObject[object]
-	for _, loc := range blocks {
+	for _, loc := range m.blocksInOrder(object) {
 		if err := m.dropBlock(loc); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// blocksInOrder returns an object's blocks sorted by block index. Bulk
+// operations (delete, fsync) must touch storage in a fixed order — Go's
+// randomized map iteration would otherwise reorder frees and migrations
+// between runs, making op traces and flash layout differ run to run.
+func (m *Manager) blocksInOrder(object uint64) []*blockLoc {
+	blocks := m.byObject[object]
+	out := make([]*blockLoc, 0, len(blocks))
+	for _, loc := range blocks {
+		out = append(out, loc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key.Block < out[j].key.Block })
+	return out
 }
 
 // TruncateBlock shrinks a block's stored size to at most size bytes
@@ -449,11 +463,13 @@ func (m *Manager) TruncateBlock(key Key, size int) error {
 
 // Objects lists every object currently holding at least one block; the
 // file system uses it to reap orphans after a power-failure recovery.
+// Sorted, so recovery walks objects in the same order every run.
 func (m *Manager) Objects() []uint64 {
 	out := make([]uint64, 0, len(m.byObject))
 	for obj := range m.byObject {
 		out = append(out, obj)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -508,8 +524,7 @@ func (m *Manager) Tick() error {
 // SyncObject migrates the object's dirty blocks to flash — an fsync of
 // one file, used by the file system to checkpoint its metadata object.
 func (m *Manager) SyncObject(object uint64) error {
-	blocks := m.byObject[object]
-	for _, loc := range blocks {
+	for _, loc := range m.blocksInOrder(object) {
 		if loc.inDRAM() {
 			if err := m.migrateToFlash(loc); err != nil {
 				return err
@@ -525,8 +540,20 @@ func (m *Manager) SyncObject(object uint64) error {
 // number of bytes of data lost. The caller is responsible for restoring
 // the DRAM device itself (dram.Device.Restore).
 func (m *Manager) PowerFailRecover() (lostBytes int64) {
-	var gone []*blockLoc
+	locs := make([]*blockLoc, 0, len(m.table))
 	for _, loc := range m.table {
+		locs = append(locs, loc)
+	}
+	// Fixed (object, block) order: the survivors' free-page lists end up
+	// the same every run, whatever order the map yields.
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].key.Object != locs[j].key.Object {
+			return locs[i].key.Object < locs[j].key.Object
+		}
+		return locs[i].key.Block < locs[j].key.Block
+	})
+	var gone []*blockLoc
+	for _, loc := range locs {
 		if !loc.inDRAM() {
 			continue
 		}

@@ -25,6 +25,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 
 	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
@@ -242,7 +243,14 @@ func (b *Buffer) Read(key Key) ([]byte, bool) {
 // deleted); those bytes never reach stable storage.
 func (b *Buffer) InvalidateObject(object uint64) {
 	blocks := b.byObject[object]
+	// Drop in block order, not map order, so the free list (and therefore
+	// every later allocation) is identical run to run.
+	ordered := make([]*entry, 0, len(blocks))
 	for _, e := range blocks {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].key.Block < ordered[j].key.Block })
+	for _, e := range ordered {
 		b.deleteAbsorbed.Add(int64(len(e.data)))
 		b.drop(e)
 	}
