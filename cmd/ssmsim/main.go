@@ -10,6 +10,15 @@
 //	ssmsim list                                 list experiment ids
 //	ssmsim replay -trace FILE [-system solid|disk|both]
 //	                                            replay a trace (see ssmtrace)
+//	ssmsim crash [-points N] [-fate before|during|after|all]
+//	                                            enumerate power-cut crash points
+//
+// The crash subcommand replays the reference workload once per
+// destructive flash operation, cutting power at that operation (torn
+// programs, interrupted erases), remounting by device scan, and checking
+// recovery invariants; it exits nonzero if any crash point violates
+// them. -points bounds the sweep for quick runs; the default enumerates
+// every operation.
 //
 // -parallel runs independent experiments and sweep configurations on a
 // worker pool (default: GOMAXPROCS); output is byte-identical to
@@ -28,6 +37,8 @@ import (
 	"runtime"
 
 	"ssmobile/internal/core"
+	"ssmobile/internal/crashtest"
+	"ssmobile/internal/flash"
 	"ssmobile/internal/obs"
 	"ssmobile/internal/prof"
 	"ssmobile/internal/sim"
@@ -44,7 +55,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ssmsim [flags] all | list | replay ... | <experiment id>...\n")
+		fmt.Fprintf(os.Stderr, "usage: ssmsim [flags] all | list | replay ... | crash ... | <experiment id>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", core.ExperimentIDs())
 		flag.PrintDefaults()
 	}
@@ -74,6 +85,8 @@ func main() {
 		}
 	case "replay":
 		runErr = replay(args[1:])
+	case "crash":
+		runErr = crash(args[1:])
 	case "all":
 		runErr = core.RunAllParallel(os.Stdout, *seed, *parallel)
 	default:
@@ -108,6 +121,45 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ssmsim:", err)
 	os.Exit(1)
+}
+
+// crash runs the crash-point enumeration: the reference workload is cut
+// at every destructive flash op and recovered, and any violated
+// guarantee fails the run. CI uses it to gate on crash consistency.
+func crash(args []string) error {
+	fs := flag.NewFlagSet("crash", flag.ExitOnError)
+	points := fs.Int("points", 0, "max op indexes to enumerate (0 = every destructive op)")
+	fate := fs.String("fate", "all", "cut fate: before, during, after, or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := crashtest.Config{MaxPoints: *points}
+	switch *fate {
+	case "before":
+		cfg.Fates = []flash.Outcome{flash.CutBefore}
+	case "during":
+		cfg.Fates = []flash.Outcome{flash.CutDuring}
+	case "after":
+		cfg.Fates = []flash.Outcome{flash.CutAfter}
+	case "all":
+	default:
+		return fmt.Errorf("crash: unknown -fate %q", *fate)
+	}
+	res, err := crashtest.Enumerate(cfg, crashtest.DefaultScript())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crash-point enumeration: %d destructive ops, %d recoveries\n", res.DestructiveOps, res.PointsRun)
+	fmt.Printf("  torn records rejected %d, blocks re-erased %d, blocks retired %d\n",
+		res.CorruptRecords, res.ReErasedBlocks, res.RetiredBlocks)
+	if len(res.Violations) == 0 {
+		fmt.Println("  all recoveries upheld every invariant and data guarantee")
+		return nil
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("  VIOLATION %s\n", v)
+	}
+	return fmt.Errorf("crash: %d of %d crash points violated recovery guarantees", len(res.Violations), res.PointsRun)
 }
 
 // replay runs a trace file against one or both storage organisations and

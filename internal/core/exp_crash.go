@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"ssmobile/internal/crashtest"
+	"ssmobile/internal/flash"
+	"ssmobile/internal/obs"
+)
+
+// E11PowerCuts reproduces the stability claim of §3.1/§4 at its
+// sharpest: not only quiescent power failures (E10) but a cut at every
+// destructive flash operation of a mixed workload — before it, tearing
+// it mid-flight, and just after it completes. For each fate the
+// crash-point enumeration replays the reference workload, cuts power at
+// every program, out-of-band record program, and erase in turn, remounts
+// by device scan, and checks structural invariants plus exact data
+// guarantees (synced blocks intact, in-flight blocks old-or-new, no
+// fabricated images). The table reports the sweep per fate; a clean
+// violations column is the experiment's result.
+func E11PowerCuts(env *Env) (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "recovery under power cuts (§3.1, §4): crash-point enumeration over every device op",
+		Headers: []string{"cut", "crash points", "violations",
+			"torn records", "re-erased blocks", "retired blocks"},
+	}
+	fates := []struct {
+		name string
+		fate flash.Outcome
+	}{
+		{"before op", flash.CutBefore},
+		{"mid op (torn)", flash.CutDuring},
+		{"after op", flash.CutAfter},
+	}
+	results := make([]*crashtest.Result, len(fates))
+	err := env.ForEach(len(fates), func(i int, je *Env) error {
+		res, err := crashtest.Enumerate(crashtest.Config{
+			Fates: []flash.Outcome{fates[i].fate},
+		}, crashtest.DefaultScript())
+		if err != nil {
+			return fmt.Errorf("enumerating %s cuts: %w", fates[i].name, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	o := env.Obs()
+	totalViolations := 0
+	var ops int64
+	for i, f := range fates {
+		res := results[i]
+		ops = res.DestructiveOps
+		totalViolations += len(res.Violations)
+		t.AddRow(f.name, res.PointsRun, len(res.Violations),
+			res.CorruptRecords, res.ReErasedBlocks, res.RetiredBlocks)
+		labels := obs.Labels{"exp": "e11", "cut": f.name}
+		o.Counter("crash_points_run", labels).Add(int64(res.PointsRun))
+		o.Counter("crash_violations", labels).Add(int64(len(res.Violations)))
+		o.Counter("crash_torn_records", labels).Add(res.CorruptRecords)
+		o.Counter("crash_reerased_blocks", labels).Add(res.ReErasedBlocks)
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("the reference workload performs %d destructive flash ops; power is cut at each one in turn", ops),
+		"every recovery remounts by out-of-band scan with nothing surviving in DRAM, then passes invariant, data, and usability checks;",
+		"torn out-of-band records are rejected by checksum and the superseded version wins; torn data residue is re-erased on mount")
+	if totalViolations > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("WARNING: %d crash points violated recovery guarantees", totalViolations))
+		for i, f := range fates {
+			for _, v := range results[i].Violations {
+				t.Notes = append(t.Notes, fmt.Sprintf("  %s: %s", f.name, v))
+			}
+		}
+	}
+	return t, nil
+}

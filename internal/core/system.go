@@ -316,6 +316,13 @@ func (s *SolidStateSystem) RemountAfterPowerFailure() (*SolidStateSystem, error)
 		return nil, fmt.Errorf("core: remount without a power failure; call DRAM.PowerFail first")
 	}
 	s.DRAM.Restore()
+	if s.Flash.Lost() {
+		// The cut may have hit the flash device mid-operation (fault
+		// injection); recovery disarms the injector and powers the array
+		// back up before scanning it.
+		s.Flash.SetInjector(nil)
+		s.Flash.Restore()
+	}
 	fl, err := ftl.Mount(s.Flash, s.clock, ftlConfig(s.cfg))
 	if err != nil {
 		return nil, err

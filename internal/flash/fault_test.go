@@ -1,0 +1,235 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ssmobile/internal/device"
+)
+
+// cutInjector configures cfg to cut the destructive op at index with fate.
+func cutInjector(cfg Config, index int64, fate Outcome) Config {
+	cfg.Injector = &CutAt{Index: index, Fate: fate}
+	return cfg
+}
+
+func TestCutBeforeProgramLeavesArrayUntouched(t *testing.T) {
+	d, _, _ := newTestDevice(t, cutInjector(testConfig(), 0, CutBefore))
+	if _, err := d.Program(0, []byte{0x00, 0x00}); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("Program under CutBefore: %v", err)
+	}
+	if !d.Lost() {
+		t.Fatal("device not lost after cut")
+	}
+	if d.Peek(0) != 0xFF || d.Peek(1) != 0xFF {
+		t.Fatal("CutBefore changed the array")
+	}
+	if st := d.Stats(); st.Programs != 0 || st.BytesProgrammed != 0 {
+		t.Fatalf("cut op counted in stats: %+v", st)
+	}
+}
+
+func TestTornProgramClearsDeterministicPrefix(t *testing.T) {
+	d, _, _ := newTestDevice(t, cutInjector(testConfig(), 0, CutDuring))
+	p := make([]byte, 8) // all zero: every bit is to be cleared
+	if _, err := d.Program(64, p); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("Program under CutDuring: %v", err)
+	}
+	// Three quarters land in full, the tear-point byte only loses its
+	// high nibble, the rest is untouched.
+	want := []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0F, 0xFF}
+	got := make([]byte, 8)
+	for i := range got {
+		got[i] = d.Peek(64 + int64(i))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("torn page %x, want %x", got, want)
+	}
+}
+
+func TestCutAfterProgramAppliesDataButDiesUncounted(t *testing.T) {
+	d, _, _ := newTestDevice(t, cutInjector(testConfig(), 0, CutAfter))
+	p := []byte("landed")
+	if _, err := d.Program(128, p); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("Program under CutAfter: %v", err)
+	}
+	for i, b := range p {
+		if d.Peek(128+int64(i)) != b {
+			t.Fatalf("byte %d not applied under CutAfter", i)
+		}
+	}
+	if st := d.Stats(); st.Programs != 0 {
+		t.Fatalf("cut op counted as program: %+v", st)
+	}
+}
+
+func TestTornSpareProgram(t *testing.T) {
+	d, _, _ := newTestDevice(t, cutInjector(spareConfig(), 0, CutDuring))
+	p := make([]byte, 8)
+	if _, err := d.ProgramSpare(3, p); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("ProgramSpare under CutDuring: %v", err)
+	}
+	got := d.PeekSpare(3)
+	want := []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0F, 0xFF}
+	if !bytes.Equal(got[:8], want) {
+		t.Fatalf("torn spare %x, want %x", got[:8], want)
+	}
+	for _, b := range got[8:] {
+		if b != 0xFF {
+			t.Fatal("torn spare touched bytes past the payload")
+		}
+	}
+}
+
+func TestDeadDeviceRefusesEverythingUntilRestore(t *testing.T) {
+	d, _, _ := newTestDevice(t, cutInjector(spareConfig(), 0, CutBefore))
+	if _, err := d.Program(0, []byte{0}); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("victim op: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := d.Read(0, buf); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("Read on dead device: %v", err)
+	}
+	if _, err := d.ReadSpare(0, buf); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("ReadSpare on dead device: %v", err)
+	}
+	if _, err := d.Erase(0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("Erase on dead device: %v", err)
+	}
+	if err := d.ProgramAsync(0, []byte{0}); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("ProgramAsync on dead device: %v", err)
+	}
+	d.Restore()
+	if d.Lost() {
+		t.Fatal("still lost after Restore")
+	}
+	if _, err := d.Read(0, buf); err != nil {
+		t.Fatalf("Read after Restore: %v", err)
+	}
+}
+
+func TestTremblingEraseMustBeErasedAgain(t *testing.T) {
+	d, _, _ := newTestDevice(t, cutInjector(spareConfig(), 1, CutDuring))
+	p := make([]byte, 16) // op 0: a normal program so the block holds data
+	if _, err := d.Program(0, p); err != nil {
+		t.Fatalf("setup program: %v", err)
+	}
+	if _, err := d.Erase(0); !errors.Is(err, ErrPowerCut) { // op 1: torn erase
+		t.Fatalf("Erase under CutDuring: %v", err)
+	}
+	if d.EraseCount(0) != 1 {
+		t.Fatalf("interrupted erase cycle not counted: %d", d.EraseCount(0))
+	}
+	d.Restore()
+	// The block reads back mixed data: neither the old page nor all-0xFF.
+	mixed := false
+	for i := int64(0); i < 16; i++ {
+		if b := d.Peek(i); b != 0xFF && b != p[i] {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Fatal("trembling block reads back clean data")
+	}
+	// Programming it without a fresh erase violates the bit-clearing rule:
+	// the trembling bytes have bits already cleared that a fresh page
+	// write would need set.
+	probe := bytes.Repeat([]byte{0x55}, 16)
+	if _, err := d.Program(0, probe); !errors.Is(err, ErrOverwrite) {
+		t.Fatalf("program into trembling block: %v", err)
+	}
+	// A re-erase restores it to service.
+	if _, err := d.Erase(0); err != nil {
+		t.Fatalf("re-erase: %v", err)
+	}
+	for i := int64(0); i < 16; i++ {
+		if d.Peek(i) != 0xFF {
+			t.Fatal("re-erase left data behind")
+		}
+	}
+	if _, err := d.Program(0, p); err != nil {
+		t.Fatalf("program after re-erase: %v", err)
+	}
+}
+
+func TestCutAfterEraseCompletesTheErase(t *testing.T) {
+	d, _, _ := newTestDevice(t, cutInjector(spareConfig(), 1, CutAfter))
+	if _, err := d.Program(0, []byte{0x00}); err != nil {
+		t.Fatalf("setup program: %v", err)
+	}
+	if _, err := d.Erase(0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("Erase under CutAfter: %v", err)
+	}
+	d.Restore()
+	if d.Peek(0) != 0xFF {
+		t.Fatal("CutAfter erase did not reset the array")
+	}
+	if d.EraseCount(0) != 1 {
+		t.Fatalf("erase cycle not counted: %d", d.EraseCount(0))
+	}
+	if st := d.Stats(); st.Erases != 0 {
+		t.Fatalf("cut erase counted in stats: %+v", st)
+	}
+}
+
+func TestDestructiveOpIndexSkipsValidationFailures(t *testing.T) {
+	d, _, _ := newTestDevice(t, spareConfig())
+	if _, err := d.Program(0, []byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	// A rejected overwrite must not consume an op index.
+	if _, err := d.Program(0, []byte{0xFF, 0x01}); err == nil {
+		t.Fatal("overwrite accepted")
+	}
+	if _, err := d.ProgramSpare(0, []byte{0x12}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramAsync(64, []byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DestructiveOps(); got != 4 {
+		t.Fatalf("DestructiveOps = %d, want 4", got)
+	}
+}
+
+func TestEnduranceWearFromInterruptedErases(t *testing.T) {
+	cfg := spareConfig()
+	cfg.Params = device.IntelFlash
+	cfg.Params.EnduranceCycles = 2
+	d, _, _ := newTestDevice(t, cfg)
+	d.SetInjector(InjectorFunc(func(index int64, kind OpKind, addr int64, n int) Outcome {
+		return CutDuring // every erase is interrupted
+	}))
+	for i := 0; i < 2; i++ {
+		if _, err := d.Erase(0); !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("erase %d: %v", i, err)
+		}
+		d.Restore()
+	}
+	if !d.WornOut(0) {
+		t.Fatal("interrupted erase cycles did not wear the block")
+	}
+}
+
+// Regression: a single host read spanning two banks must count as one
+// read op (the tracer records one span), with only the byte accounting
+// split per segment.
+func TestReadSpanningBanksCountsOneOp(t *testing.T) {
+	d, _, _ := newTestDevice(t, testConfig())
+	bankBytes := int64(8 * 4096) // BlocksPerBank * BlockBytes
+	buf := make([]byte, 128)
+	if _, err := d.Read(bankBytes-64, buf); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Reads != 1 {
+		t.Fatalf("read spanning two banks counted as %d ops, want 1", st.Reads)
+	}
+	if st.BytesRead != 128 {
+		t.Fatalf("BytesRead = %d, want 128", st.BytesRead)
+	}
+}

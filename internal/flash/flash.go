@@ -69,6 +69,10 @@ type Config struct {
 	// Obs receives the device's metrics and op spans; nil falls back to
 	// obs.Default() (which may itself be nil — telemetry off).
 	Obs *obs.Observer
+	// Injector, when non-nil, is consulted before every destructive
+	// operation and may cut power before, during, or after it (see
+	// fault.go). Nil disables fault injection entirely.
+	Injector Injector
 }
 
 // Validate checks the configuration for internal consistency.
@@ -115,6 +119,9 @@ type Device struct {
 	eraseCount []int64
 	wornOut    []bool
 	busyUntil  []sim.Time // per bank
+
+	destructiveOps int64 // programs + spare programs + erases issued
+	lost           bool  // dead from an injected power cut until Restore
 
 	reads, programs, erases *obs.Counter
 	bytesRead, bytesProg    *obs.Counter
@@ -234,9 +241,15 @@ func (d *Device) Read(addr int64, buf []byte) (lat sim.Duration, err error) {
 	sp := d.obs.Span(d.clock, d.meter, "flash", "read")
 	n0 := int64(len(buf))
 	defer func() { sp.End(n0, err) }()
+	if d.lost {
+		return 0, ErrPowerCut
+	}
 	if err := d.checkRange(addr, len(buf)); err != nil {
 		return 0, err
 	}
+	// One host read is one op however many banks it crosses; only the
+	// byte accounting is per segment.
+	d.reads.Inc()
 	var total sim.Duration
 	// Process the range bank by bank so stalls charge only where due.
 	for len(buf) > 0 {
@@ -255,7 +268,6 @@ func (d *Device) Read(addr int64, buf []byte) (lat sim.Duration, err error) {
 		total += stall + dur
 		addr += int64(n)
 		buf = buf[n:]
-		d.reads.Inc()
 		d.bytesRead.Add(int64(n))
 	}
 	return total, nil
@@ -291,6 +303,9 @@ func (d *Device) checkSpare(unit int64) error {
 func (d *Device) ReadSpare(unit int64, buf []byte) (lat sim.Duration, err error) {
 	sp := d.obs.Span(d.clock, d.meter, "flash", "read_spare")
 	defer func() { sp.End(int64(len(buf)), err) }()
+	if d.lost {
+		return 0, ErrPowerCut
+	}
 	if err := d.checkSpare(unit); err != nil {
 		return 0, err
 	}
@@ -314,6 +329,9 @@ func (d *Device) ReadSpare(unit int64, buf []byte) (lat sim.Duration, err error)
 func (d *Device) ProgramSpare(unit int64, p []byte) (lat sim.Duration, err error) {
 	sp := d.obs.Span(d.clock, d.meter, "flash", "program_spare")
 	defer func() { sp.End(int64(len(p)), err) }()
+	if d.lost {
+		return 0, ErrPowerCut
+	}
 	if err := d.checkSpare(unit); err != nil {
 		return 0, err
 	}
@@ -326,6 +344,19 @@ func (d *Device) ProgramSpare(unit int64, p []byte) (lat sim.Duration, err error
 		if ^old&b != 0 {
 			return 0, fmt.Errorf("%w: spare unit %d byte %d old %02x new %02x", ErrOverwrite, unit, i, old, b)
 		}
+	}
+	switch d.consultInjector(OpProgramSpare, unit, len(p)) {
+	case CutBefore:
+		d.lost = true
+		return 0, ErrPowerCut
+	case CutDuring:
+		tearProgram(d.spare[base:base+int64(len(p))], p)
+		d.lost = true
+		return 0, ErrPowerCut
+	case CutAfter:
+		copy(d.spare[base:], p)
+		d.lost = true
+		return 0, ErrPowerCut
 	}
 	bank := d.BankOf(d.BlockOf(unit * int64(d.cfg.SpareUnitBytes)))
 	stall := d.waitBank(bank)
@@ -350,6 +381,9 @@ func (d *Device) PeekSpare(unit int64) []byte {
 
 // program validates and applies a program operation, returning its duration.
 func (d *Device) program(addr int64, p []byte) (sim.Duration, error) {
+	if d.lost {
+		return 0, ErrPowerCut
+	}
 	if err := d.checkRange(addr, len(p)); err != nil {
 		return 0, err
 	}
@@ -359,6 +393,19 @@ func (d *Device) program(addr int64, p []byte) (sim.Duration, error) {
 		if ^old&b != 0 {
 			return 0, fmt.Errorf("%w: addr %d old %02x new %02x", ErrOverwrite, addr+int64(i), old, b)
 		}
+	}
+	switch d.consultInjector(OpProgram, addr, len(p)) {
+	case CutBefore:
+		d.lost = true
+		return 0, ErrPowerCut
+	case CutDuring:
+		tearProgram(d.data[addr:addr+int64(len(p))], p)
+		d.lost = true
+		return 0, ErrPowerCut
+	case CutAfter:
+		copy(d.data[addr:], p)
+		d.lost = true
+		return 0, ErrPowerCut
 	}
 	copy(d.data[addr:], p)
 	d.programs.Inc()
@@ -422,18 +469,53 @@ func (d *Device) checkSameBank(addr int64, n int) error {
 
 // erase validates and applies an erase, returning its duration.
 func (d *Device) erase(block int) (sim.Duration, error) {
+	if d.lost {
+		return 0, ErrPowerCut
+	}
 	if block < 0 || block >= d.NumBlocks() {
 		return 0, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, block, d.NumBlocks())
 	}
 	if d.wornOut[block] {
 		return 0, fmt.Errorf("%w: block %d after %d cycles", ErrWornOut, block, d.eraseCount[block])
 	}
+	switch d.consultInjector(OpErase, int64(block), d.cfg.BlockBytes) {
+	case CutBefore:
+		d.lost = true
+		return 0, ErrPowerCut
+	case CutDuring:
+		// The erase pulses partly accrued: the cycle counts against the
+		// block's endurance, but the array is left trembling and must be
+		// erased again before it can hold data.
+		d.noteEraseCycle(block)
+		d.trembleBlock(block)
+		d.lost = true
+		return 0, ErrPowerCut
+	case CutAfter:
+		d.noteEraseCycle(block)
+		d.applyErase(block)
+		d.lost = true
+		return 0, ErrPowerCut
+	}
+	d.noteEraseCycle(block)
+	d.applyErase(block)
+	d.erases.Inc()
+	dur := sim.Duration(d.cfg.Params.EraseLatencyNs)
+	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
+	return dur, nil
+}
+
+// noteEraseCycle counts one erase cycle against the block's endurance.
+func (d *Device) noteEraseCycle(block int) {
 	d.eraseCount[block]++
 	if lim := d.cfg.Params.EnduranceCycles; lim > 0 && d.eraseCount[block] >= lim {
 		// The guaranteed cycle count is exhausted; this erase still
 		// succeeds, further ones fail.
 		d.wornOut[block] = true
 	}
+}
+
+// applyErase resets the block's data and spare bytes to the erased state.
+func (d *Device) applyErase(block int) {
 	start := d.BlockAddr(block)
 	for i := int64(0); i < int64(d.cfg.BlockBytes); i++ {
 		d.data[start+i] = 0xFF
@@ -446,10 +528,6 @@ func (d *Device) erase(block int) (sim.Duration, error) {
 			d.spare[first+i] = 0xFF
 		}
 	}
-	d.erases.Inc()
-	dur := sim.Duration(d.cfg.Params.EraseLatencyNs)
-	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
-	return dur, nil
 }
 
 // Erase erases a block synchronously, advancing the caller's clock.

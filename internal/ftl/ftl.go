@@ -176,6 +176,8 @@ type FTL struct {
 	pageSeq  map[int64]uint64 // lpn → newest program sequence
 	writeSeq uint64           // monotone program sequence for OOB records
 
+	mountStats MountStats // wreckage found by Mount; zero for New
+
 	obs                     *obs.Observer
 	hostWrites, hostReads   *obs.Counter
 	hostBytes               *obs.Counter
@@ -860,6 +862,17 @@ func (f *FTL) CheckInvariants() error {
 		if valid != f.blocks[b].valid || dead != f.blocks[b].dead {
 			return fmt.Errorf("block %d counts valid=%d/%d dead=%d/%d",
 				b, f.blocks[b].valid, valid, f.blocks[b].dead, dead)
+		}
+	}
+	// Every free-pool block must be genuinely erased: allocation programs
+	// into free blocks without erasing first, so torn residue here (a
+	// crash-recovery leak) surfaces later as a phantom overwrite error.
+	for b := 0; b < f.numBlocks; b++ {
+		if !f.blocks[b].isFree {
+			continue
+		}
+		if off, ok := f.blockNonBlankAt(b); ok {
+			return fmt.Errorf("free block %d not erased at offset %d", b, off)
 		}
 	}
 	if f.victims != nil {

@@ -3,6 +3,7 @@ package ftl
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"ssmobile/internal/flash"
 	"ssmobile/internal/sim"
@@ -20,23 +21,79 @@ const OOBRecordBytes = 4 + 8 + 8 + 16
 
 const oobMagic uint32 = 0x53534d4c // "SSML"
 
+// The record's first word is the magic XOR-folded with a CRC of the
+// payload, so the record self-checks without growing (a bigger record
+// would change every spare-program latency). A torn spare program —
+// power cut between the data page and the tail of its record — leaves a
+// prefix whose CRC cannot match, where a bare magic word (entirely
+// inside the surviving prefix) would have validated garbage: the torn
+// record still carries a plausible seq and lpn, would win the
+// per-logical-page sequence battle at Mount, and resurrect a half-written
+// tag over committed data.
+func oobCheck(rec []byte) uint32 {
+	return oobMagic ^ crc32.ChecksumIEEE(rec[4:OOBRecordBytes])
+}
+
 func encodeOOB(seq uint64, lpn int64, tag Tag) []byte {
 	rec := make([]byte, OOBRecordBytes)
-	binary.LittleEndian.PutUint32(rec[0:], oobMagic)
 	binary.LittleEndian.PutUint64(rec[4:], seq)
 	binary.LittleEndian.PutUint64(rec[12:], uint64(lpn))
 	copy(rec[20:], tag[:])
+	binary.LittleEndian.PutUint32(rec[0:], oobCheck(rec))
 	return rec
 }
 
 func decodeOOB(rec []byte) (seq uint64, lpn int64, tag Tag, ok bool) {
-	if len(rec) < OOBRecordBytes || binary.LittleEndian.Uint32(rec) != oobMagic {
+	if len(rec) < OOBRecordBytes || binary.LittleEndian.Uint32(rec) != oobCheck(rec) {
 		return 0, 0, Tag{}, false
 	}
 	seq = binary.LittleEndian.Uint64(rec[4:])
 	lpn = int64(binary.LittleEndian.Uint64(rec[12:]))
 	copy(tag[:], rec[20:])
 	return seq, lpn, tag, true
+}
+
+// MountStats reports what a Mount scan found beyond the live mapping —
+// the wreckage a power cut left behind.
+type MountStats struct {
+	// CorruptRecords counts spare areas holding bytes that are neither
+	// blank nor a self-consistent record: torn OOB programs and
+	// trembling-erase residue.
+	CorruptRecords int64
+	// ReErasedBlocks counts record-free blocks that failed the blank
+	// check and were erased back into the free pool.
+	ReErasedBlocks int64
+	// RetiredBlocks counts blocks retired as worn out during the scan.
+	RetiredBlocks int64
+}
+
+// MountStats returns what the Mount scan found; zero for an FTL built
+// with New.
+func (f *FTL) MountStats() MountStats { return f.mountStats }
+
+// blockNonBlankAt reports the first non-erased byte offset in the
+// block's data or spare area (spare offsets follow data offsets), using
+// uncharged peeks. A fully erased block returns ok == false.
+func (f *FTL) blockNonBlankAt(b int) (off int64, ok bool) {
+	dc := f.dev.Config()
+	start := f.dev.BlockAddr(b)
+	for i := int64(0); i < int64(dc.BlockBytes); i++ {
+		if f.dev.Peek(start+i) != 0xFF {
+			return i, true
+		}
+	}
+	if dc.SpareBytes > 0 {
+		firstUnit := start / int64(dc.SpareUnitBytes)
+		unitsPerBlock := int64(dc.BlockBytes / dc.SpareUnitBytes)
+		for u := int64(0); u < unitsPerBlock; u++ {
+			for j, sb := range f.dev.PeekSpare(firstUnit + u) {
+				if sb != 0xFF {
+					return int64(dc.BlockBytes) + u*int64(dc.SpareBytes) + int64(j), true
+				}
+			}
+		}
+	}
+	return 0, false
 }
 
 // checkOOBSupport verifies the device can carry per-page records.
@@ -89,6 +146,14 @@ func Mount(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 		}
 		seq, lpn, tag, ok := decodeOOB(rec)
 		if !ok {
+			for _, b := range rec {
+				if b != 0xFF {
+					// Non-blank but not self-consistent: a torn OOB
+					// program or trembling-erase residue.
+					f.mountStats.CorruptRecords++
+					break
+				}
+			}
 			continue
 		}
 		used[ppn] = true
@@ -124,9 +189,28 @@ func Mount(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 		if dev.WornOut(b) {
 			f.removeFromFreePool(b)
 			f.retireBlockOnMount(b)
+			f.mountStats.RetiredBlocks++
 			continue
 		}
 		if !blockUsed {
+			if _, dirtyRes := f.blockNonBlankAt(b); dirtyRes {
+				// No surviving record, yet the block is not erased: a
+				// torn data program whose OOB record never landed, or an
+				// interrupted erase that left the array trembling. The
+				// block sits in the free pool, and allocation programs
+				// free blocks without erasing first — so it must be
+				// erased again now, as a charged device operation.
+				if _, err := dev.Erase(b); err != nil {
+					return nil, err
+				}
+				f.mountStats.ReErasedBlocks++
+				if dev.WornOut(b) {
+					// That erase exhausted its endurance budget.
+					f.removeFromFreePool(b)
+					f.retireBlockOnMount(b)
+					f.mountStats.RetiredBlocks++
+				}
+			}
 			continue // stays in the free pool
 		}
 		f.removeFromFreePool(b)

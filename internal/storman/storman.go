@@ -446,6 +446,13 @@ func (m *Manager) blocksInOrder(object uint64) []*blockLoc {
 
 // TruncateBlock shrinks a block's stored size to at most size bytes
 // (file truncation landing mid-block). Shrinking to zero drops the block.
+//
+// The shrink is pure bookkeeping: nothing is written to flash, so
+// flashSize — the size of the version flash actually holds — must NOT be
+// clamped. A truncation of a flash-resident block is therefore not
+// durable by itself: a power failure before the next flush reverts the
+// block to its persisted length, and the file system's inode sizes (in
+// its own synced metadata) are what clamp reads after recovery.
 func (m *Manager) TruncateBlock(key Key, size int) error {
 	loc := m.lookup(key)
 	if loc == nil || size >= loc.size {
@@ -455,9 +462,6 @@ func (m *Manager) TruncateBlock(key Key, size int) error {
 		return m.dropBlock(loc)
 	}
 	loc.size = size
-	if loc.flashSize > size {
-		loc.flashSize = size
-	}
 	return nil
 }
 
@@ -536,9 +540,10 @@ func (m *Manager) SyncObject(object uint64) error {
 
 // PowerFailRecover reconciles the manager's state after the DRAM device
 // lost power: every DRAM-resident block reverts to its last flushed flash
-// version, and blocks that never reached flash disappear. It returns the
-// number of bytes of data lost. The caller is responsible for restoring
-// the DRAM device itself (dram.Device.Restore).
+// version, blocks that never reached flash disappear, and unflushed
+// truncations of flash-resident blocks revert to the persisted length.
+// It returns the number of bytes of data lost. The caller is responsible
+// for restoring the DRAM device itself (dram.Device.Restore).
 func (m *Manager) PowerFailRecover() (lostBytes int64) {
 	locs := make([]*blockLoc, 0, len(m.table))
 	for _, loc := range m.table {
@@ -555,6 +560,9 @@ func (m *Manager) PowerFailRecover() (lostBytes int64) {
 	var gone []*blockLoc
 	for _, loc := range locs {
 		if !loc.inDRAM() {
+			// Flash-resident: the persisted version is all that survives.
+			// An unflushed truncation (size < flashSize) reverts.
+			loc.size = loc.flashSize
 			continue
 		}
 		// The dirty version in DRAM is gone either way.

@@ -436,7 +436,7 @@ func TestTruncateBlock(t *testing.T) {
 	}
 }
 
-func TestTruncateBlockClampsFlashCopy(t *testing.T) {
+func TestTruncateFlashResidentBlockShrinksView(t *testing.T) {
 	r := newRig(t, 1<<20, 0)
 	key := Key{Object: 1, Block: 0}
 	if err := r.m.WriteBlock(key, blockOf(0x66, 4096)); err != nil {

@@ -202,7 +202,10 @@ func (b *Buffer) Write(key Key, data []byte) error {
 
 	now := b.clock.Now()
 	if e, ok := b.entries[key]; ok {
-		b.overwriteAbsorbed.Add(int64(len(e.data)))
+		// The absorbed traffic is the incoming write — the bytes that
+		// would otherwise have reached flash — not the size of the stale
+		// buffered version it replaces.
+		b.overwriteAbsorbed.Add(int64(len(data)))
 		b.size += int64(len(data)) - int64(len(e.data))
 		e.data = append(e.data[:0], data...)
 		e.lastWrite = now

@@ -116,6 +116,28 @@ func TestOverwriteAbsorption(t *testing.T) {
 	}
 }
 
+// Regression: the absorbed traffic of an overwrite is the incoming write
+// size, not the size of the buffered version it replaces — a small
+// overwrite landing on a large buffered block used to inflate the
+// paper's 40–50% reduction metric by the large block's size.
+func TestOverwriteAbsorptionCreditsIncomingBytes(t *testing.T) {
+	b, _, _ := newBuffer(t, 1<<20, 0, EvictLRW)
+	key := Key{Object: 1, Block: 0}
+	if err := b.Write(key, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(key, make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.OverwriteAbsorbedBytes != 40 {
+		t.Fatalf("absorbed %d, want the 40 incoming bytes", s.OverwriteAbsorbedBytes)
+	}
+	if s.HostBytes != 140 {
+		t.Fatalf("host bytes %d", s.HostBytes)
+	}
+}
+
 func TestDeleteAbsorption(t *testing.T) {
 	b, _, sink := newBuffer(t, 1<<20, 0, EvictLRW)
 	for blk := int64(0); blk < 4; blk++ {
