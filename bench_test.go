@@ -17,8 +17,10 @@ import (
 	"time"
 
 	"ssmobile/internal/core"
+	"ssmobile/internal/server"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/trace"
+	"ssmobile/internal/workload"
 )
 
 const benchSeed = 1993
@@ -215,6 +217,45 @@ func BenchmarkE10CrashAndBattery(b *testing.B) {
 		}
 		logTables(b, &logged, tables...)
 	}
+}
+
+// BenchmarkServeThroughput drives the object-storage service (the E12
+// serving stack) with a seeded 8-client open-loop workload and reports
+// the served virtual-time throughput and tail latency as metrics. It
+// measures the Go cost of the whole fs→storman→ftl→flash request path
+// under multiplexed client load.
+func BenchmarkServeThroughput(b *testing.B) {
+	var served, shed float64
+	var p99ms float64
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSolidState(core.SolidStateConfig{
+			DRAMBytes: 8 << 20, FlashBytes: 16 << 20, BufferBytes: 1 << 20,
+			IdleCleanBlocks: 24,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := server.New(server.Backend{
+			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+		}, server.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := server.RunWorkload(srv, workload.Config{
+			Seed: benchSeed, Clients: 8, OpsPerClient: 200, Keys: 16,
+			Popularity: workload.Zipf,
+			Mix:        workload.Mix{Read: 0.55, Write: 0.35, Truncate: 0.02, Delete: 0.03, Sync: 0.05},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		served = st.CompletedRate()
+		shed = float64(st.Shed)
+		p99ms = st.Lat.Quantile(0.99) / 1e6
+	}
+	b.ReportMetric(served, "served-vop/s")
+	b.ReportMetric(shed, "shed")
+	b.ReportMetric(p99ms, "p99-vms")
 }
 
 // BenchmarkRunAllSerial and BenchmarkRunAllParallel run the entire

@@ -1,0 +1,280 @@
+// Command ssmserve exposes the solid-state storage stack as a
+// multi-tenant object-storage service over TCP — the serving-stack form
+// of the paper's write-buffering and cleaning argument. See DESIGN.md §9
+// for the service and backpressure model and experiment E12 (ssmsim e12)
+// for the deterministic saturation study.
+//
+// Usage:
+//
+//	ssmserve [flags] serve        serve until SIGINT/SIGTERM, then drain
+//	ssmserve [flags] smoke        self-contained smoke run: serve on a
+//	                              loopback port, drive a short seeded
+//	                              workload over TCP, verify zero
+//	                              unexpected errors, exit cleanly
+//
+// serve flags: -addr (default 127.0.0.1:7633), -dram/-flash/-buffer MB
+// sizes, -idle-clean blocks, -high/-low admission watermarks,
+// -sync-window group-commit window, plus the usual -metrics and
+// -cpuprofile/-memprofile outputs.
+//
+// smoke flags: -clients, -ops, -seed, -write ratio. CI runs smoke to
+// gate the server path: the run fails on any error other than the
+// typed overload shed.
+//
+// The protocol is line-oriented text with binary payloads (see
+// internal/server/net.go); a session is debuggable with nc(1):
+//
+//	$ nc 127.0.0.1 7633
+//	hello alice
+//	ok 0
+//	sync
+//	ok 0
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"ssmobile/internal/core"
+	"ssmobile/internal/obs"
+	"ssmobile/internal/prof"
+	"ssmobile/internal/server"
+	"ssmobile/internal/sim"
+	"ssmobile/internal/workload"
+)
+
+func main() {
+	dramMB := flag.Int64("dram", 8, "DRAM size in MB")
+	flashMB := flag.Int64("flash", 32, "flash size in MB")
+	bufferMB := flag.Int64("buffer", 2, "write-buffer region in MB")
+	idleClean := flag.Int("idle-clean", 8, "idle-cleaning free-block target (0 disables idle cleaning)")
+	high := flag.Float64("high", 0.9, "admission high watermark (buffer occupancy fraction)")
+	low := flag.Float64("low", 0.75, "admission low watermark")
+	syncWindow := flag.Duration("sync-window", 0, "sync group-commit window (0 = default 50ms)")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+	addr := flag.String("addr", "127.0.0.1:7633", "serve: listen address")
+
+	clients := flag.Int("clients", 4, "smoke: concurrent clients")
+	ops := flag.Int("ops", 200, "smoke: requests per client")
+	seed := flag.Int64("seed", 1993, "smoke: workload seed")
+	writeRatio := flag.Float64("write", 0.4, "smoke: write fraction of the mix")
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ssmserve [flags] serve | smoke\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fatal(err)
+	}
+	o := obs.New(0)
+	obs.SetDefault(o)
+
+	srv, tcp, err := build(buildConfig{
+		dramMB: *dramMB, flashMB: *flashMB, bufferMB: *bufferMB,
+		idleClean: *idleClean, high: *high, low: *low,
+		syncWindow: sim.D(*syncWindow),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var runErr error
+	switch flag.Arg(0) {
+	case "serve":
+		runErr = serve(tcp, *addr)
+	case "smoke":
+		runErr = smoke(tcp, smokeConfig{
+			clients: *clients, ops: *ops, seed: *seed, writeRatio: *writeRatio,
+		})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	_ = srv
+
+	if err := obs.DumpFiles(o, *metricsOut, "", ""); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmserve:", err)
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	if err := prof.WriteHeap(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmserve:", err)
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	stopCPU()
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "ssmserve:", runErr)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssmserve:", err)
+	os.Exit(1)
+}
+
+type buildConfig struct {
+	dramMB, flashMB, bufferMB int64
+	idleClean                 int
+	high, low                 float64
+	syncWindow                sim.Duration
+}
+
+// build assembles the solid-state stack and the service over it.
+func build(bc buildConfig) (*server.Server, *server.TCP, error) {
+	sys, err := core.NewSolidState(core.SolidStateConfig{
+		DRAMBytes:       bc.dramMB << 20,
+		FlashBytes:      bc.flashMB << 20,
+		BufferBytes:     bc.bufferMB << 20,
+		IdleCleanBlocks: bc.idleClean,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.New(server.Backend{
+		FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+	}, server.Config{
+		HighWatermark:   bc.high,
+		LowWatermark:    bc.low,
+		SyncBatchWindow: bc.syncWindow,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, server.NewTCP(srv), nil
+}
+
+// serve listens until SIGINT/SIGTERM, then drains: in-flight requests
+// complete, a final sync runs, and the process exits 0.
+func serve(tcp *server.TCP, addr string) error {
+	if err := tcp.Listen(addr); err != nil {
+		return err
+	}
+	fmt.Printf("ssmserve: listening on %s\n", tcp.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ssmserve: draining")
+	if err := tcp.Shutdown(); err != nil {
+		return err
+	}
+	fmt.Println("ssmserve: drained, all data stable")
+	return nil
+}
+
+type smokeConfig struct {
+	clients, ops int
+	seed         int64
+	writeRatio   float64
+}
+
+// smoke serves on a loopback port and drives every generated client
+// over a real TCP connection from its own goroutine. Overload sheds are
+// tolerated (they are the admission control working); anything else
+// fails the run.
+func smoke(tcp *server.TCP, sc smokeConfig) error {
+	if err := tcp.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	addr := tcp.Addr().String()
+	fmt.Printf("ssmserve: smoke on %s, %d clients x %d ops, seed %d\n",
+		addr, sc.clients, sc.ops, sc.seed)
+
+	w := sc.writeRatio
+	cfg := workload.Config{
+		Seed:         sc.seed,
+		Clients:      sc.clients,
+		OpsPerClient: sc.ops,
+		Mix:          workload.Mix{Read: 1 - w, Write: w * 0.9, Truncate: w * 0.02, Delete: w * 0.03, Sync: w * 0.05},
+		Popularity:   workload.Zipf,
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, sc.clients)
+	done := make([]int, sc.clients)
+	shed := make([]int, sc.clients)
+	for i := 0; i < sc.clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			done[id], shed[id], errs[id] = smokeClient(addr, cfg, id)
+		}(i)
+	}
+	wg.Wait()
+	if err := tcp.Shutdown(); err != nil {
+		return err
+	}
+	var completed, sheds int
+	for i := range errs {
+		if errs[i] != nil {
+			return fmt.Errorf("smoke client %d: %w", i, errs[i])
+		}
+		completed += done[i]
+		sheds += shed[i]
+	}
+	fmt.Printf("ssmserve: smoke ok, %d requests completed, %d shed, clean drain\n", completed, sheds)
+	return nil
+}
+
+// smokeClient replays one generated stream over TCP. Reads against keys
+// nothing has written yet come back notfound; that (and overload sheds)
+// is expected, every other error is fatal.
+func smokeClient(addr string, cfg workload.Config, id int) (completed, shed int, err error) {
+	cl, err := server.Dial(addr, fmt.Sprintf("smoke%d", id))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	gen := workload.NewClient(cfg, id)
+	for {
+		op, ok := gen.Next()
+		if !ok {
+			return completed, shed, nil
+		}
+		var opErr error
+		switch op.Kind {
+		case workload.Read:
+			_, opErr = cl.Get(op.Key, op.Offset, int64(op.Size))
+		case workload.Write:
+			data := make([]byte, op.Size)
+			for i := range data {
+				data[i] = byte(op.Key + uint64(i))
+			}
+			_, opErr = cl.Put(op.Key, op.Offset, data)
+		case workload.Truncate:
+			opErr = cl.Truncate(op.Key, int64(op.Size))
+		case workload.Delete:
+			opErr = cl.Delete(op.Key)
+		case workload.Sync:
+			_, opErr = cl.Sync()
+		}
+		switch {
+		case opErr == nil:
+			completed++
+		case errors.Is(opErr, server.ErrOverloaded):
+			shed++
+		case errors.Is(opErr, server.ErrNotFound):
+			// a key this client never wrote (or deleted): expected
+		default:
+			return completed, shed, fmt.Errorf("op %d (%v key %d): %w", op.Seq, op.Kind, op.Key, opErr)
+		}
+	}
+}

@@ -7,8 +7,9 @@
 // organisation it argues against.
 //
 // The public surface lives in the example programs (examples/), the
-// experiment driver (cmd/ssmsim), the trace tool (cmd/ssmtrace), and the
-// benchmarks in bench_test.go. The implementation packages are under
+// experiment driver (cmd/ssmsim), the trace tool (cmd/ssmtrace), the
+// object-storage service (cmd/ssmserve), and the benchmarks in
+// bench_test.go. The implementation packages are under
 // internal/; see DESIGN.md for the system inventory and EXPERIMENTS.md for
 // the paper-versus-measured record.
 package ssmobile

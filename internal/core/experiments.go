@@ -22,7 +22,7 @@ func one(f func(*Env) (*Table, error)) Runner {
 	}
 }
 
-// Registry maps experiment ids (e1..e11) to runners, with all stochastic
+// Registry maps experiment ids (e1..e12) to runners, with all stochastic
 // experiments tied to the given seed for reproducibility. Experiments
 // with several independent tables build them as one ForEach batch, so a
 // parallel environment overlaps them.
@@ -67,6 +67,7 @@ func Registry(seed int64) map[string]Runner {
 		},
 		"e10": func(env *Env) ([]*Table, error) { return E10CrashAndBattery(env, seed) },
 		"e11": one(E11PowerCuts),
+		"e12": one(func(env *Env) (*Table, error) { return E12Saturation(env, seed) }),
 	}
 }
 
@@ -85,6 +86,7 @@ func Descriptions() map[string]string {
 		"e9":  "end to end (§4): file workloads on the full solid-state vs disk organisations",
 		"e10": "crash recovery and battery (§3.1): recovery box after crashes and power failures",
 		"e11": "recovery under power cuts (§3.1, §4): crash-point enumeration at every device op, with torn programs and interrupted erases",
+		"e12": "serving-stack saturation (§3.3, §4): open-loop clients vs cleaning bandwidth through the object-storage service, with latency percentiles and load shedding",
 	}
 }
 

@@ -78,6 +78,12 @@ type SolidStateConfig struct {
 	// PlainFTL suppresses the policy defaults so zero values mean what
 	// they say.
 	PlainFTL bool
+	// IdleCleanBlocks, when positive, lets the FTL clean during idle time
+	// until that many blocks are free (the paper's "cleaning in the
+	// background while the machine is idle"). Zero keeps idle cleaning
+	// off, matching the historical experiments; the serving stack turns it
+	// on so saturation is a race between offered load and idle cleaning.
+	IdleCleanBlocks int
 	// SnapshotEvery overrides the recovery-box snapshot cadence.
 	SnapshotEvery int
 	// CodeCardBytes sizes the separate read-mostly flash card that holds
@@ -293,13 +299,14 @@ func needsErase(d *flash.Device, off int64, image []byte) bool {
 
 func ftlConfig(cfg SolidStateConfig) ftl.Config {
 	return ftl.Config{
-		PageBytes:       cfg.BlockBytes,
-		ReserveBlocks:   3,
-		Policy:          cfg.Policy,
-		HotCold:         cfg.HotCold,
-		BackgroundErase: true,
-		PersistMapping:  cfg.Policy != ftl.PolicyDirect,
-		Obs:             cfg.Obs,
+		PageBytes:          cfg.BlockBytes,
+		ReserveBlocks:      3,
+		IdleCleanThreshold: cfg.IdleCleanBlocks,
+		Policy:             cfg.Policy,
+		HotCold:            cfg.HotCold,
+		BackgroundErase:    true,
+		PersistMapping:     cfg.Policy != ftl.PolicyDirect,
+		Obs:                cfg.Obs,
 	}
 }
 

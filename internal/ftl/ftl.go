@@ -227,6 +227,10 @@ func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 	f.staticMoves = o.Counter("static_moves_total", obs.Labels{"layer": "ftl"})
 	f.idleCleans = o.Counter("idle_cleans_total", obs.Labels{"layer": "ftl"})
 	o.GaugeFunc("free_blocks", obs.Labels{"layer": "ftl"}, func() float64 { return float64(f.freeCount) })
+	// The serving layer reads this same lag signal to decide when to shed
+	// load, so backpressure and dashboards share one definition of
+	// "cleaner behind".
+	o.GaugeFunc("cleaner_lag_blocks", obs.Labels{"layer": "ftl"}, func() float64 { return float64(f.CleanerLag()) })
 	for i := range f.mapping {
 		f.mapping[i] = -1
 		f.reverse[i] = -1
@@ -808,6 +812,22 @@ func (f *FTL) writeDirect(lpn int64, data []byte) error {
 
 // FreeBlocks reports the current free-block count.
 func (f *FTL) FreeBlocks() int { return f.freeCount }
+
+// CleanerLag reports how many blocks the cleaner is behind its
+// free-space target: IdleCleanThreshold when idle cleaning is enabled,
+// otherwise one block above the foreground reserve. Zero means cleaning
+// is keeping pace; positive values mean new writes are eating free space
+// faster than it is being reclaimed.
+func (f *FTL) CleanerLag() int {
+	target := f.cfg.IdleCleanThreshold
+	if target <= 0 {
+		target = f.cfg.ReserveBlocks + 1
+	}
+	if lag := target - f.freeCount; lag > 0 {
+		return lag
+	}
+	return 0
+}
 
 // Stats summarises the layer counters.
 func (f *FTL) Stats() Stats {

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Client speaks the TCP protocol from the other end of the wire,
+// mapping wire error codes back onto this package's typed errors so
+// callers can errors.Is(err, ErrOverloaded) across the socket. Not safe
+// for concurrent use; open one Client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to addr and opens a session for tenant.
+func Dial(addr, tenant string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if _, _, err := c.roundTrip(fmt.Sprintf("hello %s\n", tenant), nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Put writes data at off in object key; it reports the bytes written.
+func (c *Client) Put(key uint64, off int64, data []byte) (int, error) {
+	n, _, err := c.roundTrip(fmt.Sprintf("put %d %d %d\n", key, off, len(data)), data)
+	return n, err
+}
+
+// Get reads n bytes at off from object key.
+func (c *Client) Get(key uint64, off int64, n int64) ([]byte, error) {
+	got, _, err := c.roundTrip(fmt.Sprintf("get %d %d %d\n", key, off, n), nil)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, got)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Truncate sets object key's length.
+func (c *Client) Truncate(key uint64, size int64) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("trunc %d %d\n", key, size), nil)
+	return err
+}
+
+// Delete removes object key (idempotent).
+func (c *Client) Delete(key uint64) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("del %d\n", key), nil)
+	return err
+}
+
+// Sync makes the tenant's writes stable; batched reports whether group
+// commit absorbed it into an earlier flush.
+func (c *Client) Sync() (batched bool, err error) {
+	_, suffix, err := c.roundTrip("sync\n", nil)
+	return suffix == "batched", err
+}
+
+// Stats fetches the server-side completed/shed counts.
+func (c *Client) Stats() (completed, shed int64, err error) {
+	_, suffix, err := c.roundTrip("stats\n", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, f := range strings.Fields(suffix) {
+		if v, ok := strings.CutPrefix(f, "completed="); ok {
+			completed, _ = strconv.ParseInt(v, 10, 64)
+		}
+		if v, ok := strings.CutPrefix(f, "shed="); ok {
+			shed, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return completed, shed, nil
+}
+
+// Close ends the session politely and closes the connection.
+func (c *Client) Close() error {
+	c.roundTrip("quit\n", nil)
+	return c.conn.Close()
+}
+
+// roundTrip sends one command (plus payload) and decodes the status
+// line into (n, suffix) or a typed error.
+func (c *Client) roundTrip(header string, payload []byte) (int, string, error) {
+	if _, err := c.w.WriteString(header); err != nil {
+		return 0, "", err
+	}
+	if payload != nil {
+		if _, err := c.w.Write(payload); err != nil {
+			return 0, "", err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.SplitN(line, " ", 3)
+	switch {
+	case fields[0] == "ok" && len(fields) >= 2:
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0, "", fmt.Errorf("server: malformed status %q", line)
+		}
+		suffix := ""
+		if len(fields) == 3 {
+			suffix = fields[2]
+		}
+		return n, suffix, nil
+	case fields[0] == "err" && len(fields) >= 2:
+		msg := ""
+		if len(fields) == 3 {
+			msg = fields[2]
+		}
+		switch fields[1] {
+		case "overloaded":
+			return 0, "", fmt.Errorf("%w (%s)", ErrOverloaded, msg)
+		case "draining":
+			return 0, "", fmt.Errorf("%w (%s)", ErrDraining, msg)
+		case "notfound":
+			return 0, "", fmt.Errorf("%w (%s)", ErrNotFound, msg)
+		default:
+			return 0, "", fmt.Errorf("%w (%s)", ErrBadRequest, msg)
+		}
+	default:
+		return 0, "", fmt.Errorf("server: malformed status %q", line)
+	}
+}

@@ -1,0 +1,301 @@
+// TCP transport for the object-storage service: a line-oriented text
+// protocol with length-prefixed binary payloads, chosen so a session is
+// debuggable with nc(1) and the framing stays trivial.
+//
+// Protocol (one session per connection):
+//
+//	hello <tenant>                 -> ok 0
+//	put <key> <offset> <len>\n<len bytes>
+//	                               -> ok <n>
+//	get <key> <offset> <len>       -> ok <n>\n<n bytes>
+//	trunc <key> <size>             -> ok 0
+//	del <key>                      -> ok 0
+//	sync                           -> ok 0 [batched]
+//	stats                          -> ok 0 completed=<n> shed=<n>
+//	quit                           -> ok 0, server closes
+//
+// Errors are "err <code> <message>" where code is one of overloaded,
+// draining, notfound, bad — mapped 1:1 onto the package's typed errors
+// by Client.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TCP serves a Server over a listener with graceful drain on shutdown.
+type TCP struct {
+	srv *Server
+	ln  net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewTCP wraps srv for network serving.
+func NewTCP(srv *Server) *TCP {
+	return &TCP{srv: srv, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts listening on addr (e.g. "127.0.0.1:0") and serving in
+// the background. Use Addr for the bound address and Shutdown to stop.
+func (t *TCP) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return nil
+}
+
+// Addr reports the bound listener address.
+func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		t.mu.Lock()
+		if t.draining {
+			t.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		t.conns[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.handle(conn)
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, let every in-flight
+// request complete and get its response, reject anything newly read
+// with the draining error, then run the server's final sync. It returns
+// once all connection handlers have exited.
+func (t *TCP) Shutdown() error {
+	t.mu.Lock()
+	if t.draining {
+		t.mu.Unlock()
+		return nil
+	}
+	t.draining = true
+	// Unblock handlers parked in Read: a request already read keeps
+	// being served (handle checks draining only between requests), but
+	// idle connections wake up, fail the read, and exit.
+	for c := range t.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	t.mu.Unlock()
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	t.wg.Wait()
+	return t.srv.Drain()
+}
+
+func (t *TCP) handle(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var sess *Session
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			// During drain a deadline unblocks the read mid-request-gap;
+			// anything in flight already got its response above.
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if t.isDraining() && fields[0] != "quit" {
+			writeErr(w, ErrDraining)
+			return
+		}
+		quit, err := t.serveCmd(r, w, &sess, fields)
+		if err != nil || quit {
+			return
+		}
+	}
+}
+
+func (t *TCP) isDraining() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.draining
+}
+
+// serveCmd executes one command; the returned error means the
+// connection is unusable (I/O failure), not a request-level error —
+// those are written to the peer and the session continues.
+func (t *TCP) serveCmd(r *bufio.Reader, w *bufio.Writer, sess **Session, fields []string) (quit bool, fatal error) {
+	cmd := fields[0]
+	if cmd == "quit" {
+		writeOK(w, 0, "")
+		return true, w.Flush()
+	}
+	if cmd == "hello" {
+		if len(fields) != 2 {
+			return false, writeErr(w, fmt.Errorf("%w: hello wants a tenant", ErrBadRequest))
+		}
+		s, err := t.srv.Open(fields[1])
+		if err != nil {
+			return false, writeErr(w, err)
+		}
+		*sess = s
+		writeOK(w, 0, "")
+		return false, w.Flush()
+	}
+	if *sess == nil {
+		return false, writeErr(w, fmt.Errorf("%w: hello first", ErrBadRequest))
+	}
+
+	req, err := parseReq(cmd, fields[1:])
+	if err != nil {
+		return false, writeErr(w, err)
+	}
+	if cmd == "stats" {
+		st := t.srv.Stats()
+		writeOK(w, 0, fmt.Sprintf("completed=%d shed=%d", st.Completed, st.Shed))
+		return false, w.Flush()
+	}
+	if req.Kind == OpPut {
+		// The payload follows the header line verbatim.
+		req.Data = make([]byte, req.Size)
+		if _, err := io.ReadFull(r, req.Data); err != nil {
+			return false, err
+		}
+		req.Size = 0
+	}
+	resp, err := (*sess).Do(req)
+	if err != nil {
+		return false, writeErr(w, err)
+	}
+	suffix := ""
+	if resp.Batched {
+		suffix = "batched"
+	}
+	writeOK(w, resp.N, suffix)
+	if req.Kind == OpGet {
+		if _, err := w.Write(resp.Data); err != nil {
+			return false, err
+		}
+	}
+	return false, w.Flush()
+}
+
+// parseReq decodes a command line into a Request; "stats" passes
+// through with a zero request after argument validation.
+func parseReq(cmd string, args []string) (Request, error) {
+	bad := func(format string, a ...any) (Request, error) {
+		return Request{}, fmt.Errorf("%w: "+format, append([]any{ErrBadRequest}, a...)...)
+	}
+	un := func(s string) (uint64, error) { return strconv.ParseUint(s, 10, 64) }
+	in := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+	var req Request
+	switch cmd {
+	case "put", "get":
+		if len(args) != 3 {
+			return bad("%s wants key offset len", cmd)
+		}
+		key, err1 := un(args[0])
+		off, err2 := in(args[1])
+		n, err3 := in(args[2])
+		if err1 != nil || err2 != nil || err3 != nil || off < 0 || n < 0 || n > 64<<20 {
+			return bad("%s arguments out of range", cmd)
+		}
+		req = Request{Key: key, Offset: off, Size: n}
+		if cmd == "put" {
+			req.Kind = OpPut
+		} else {
+			req.Kind = OpGet
+		}
+	case "trunc":
+		if len(args) != 2 {
+			return bad("trunc wants key size")
+		}
+		key, err1 := un(args[0])
+		n, err2 := in(args[1])
+		if err1 != nil || err2 != nil || n < 0 {
+			return bad("trunc arguments out of range")
+		}
+		req = Request{Kind: OpTruncate, Key: key, Size: n}
+	case "del":
+		if len(args) != 1 {
+			return bad("del wants key")
+		}
+		key, err := un(args[0])
+		if err != nil {
+			return bad("del key out of range")
+		}
+		req = Request{Kind: OpDelete, Key: key}
+	case "sync":
+		if len(args) != 0 {
+			return bad("sync wants no arguments")
+		}
+		req = Request{Kind: OpSync}
+	case "stats":
+		if len(args) != 0 {
+			return bad("stats wants no arguments")
+		}
+	default:
+		return bad("unknown command %q", cmd)
+	}
+	return req, nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func writeOK(w *bufio.Writer, n int, suffix string) {
+	if suffix != "" {
+		fmt.Fprintf(w, "ok %d %s\n", n, suffix)
+		return
+	}
+	fmt.Fprintf(w, "ok %d\n", n)
+}
+
+// writeErr reports a request-level error to the peer; the returned
+// error is the flush result (an I/O failure ends the connection).
+func writeErr(w *bufio.Writer, err error) error {
+	code := "bad"
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		code = "overloaded"
+	case errors.Is(err, ErrDraining):
+		code = "draining"
+	case errors.Is(err, ErrNotFound):
+		code = "notfound"
+	}
+	msg := strings.ReplaceAll(err.Error(), "\n", " ")
+	fmt.Fprintf(w, "err %s %s\n", code, msg)
+	return w.Flush()
+}

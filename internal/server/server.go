@@ -1,0 +1,467 @@
+// Package server implements a multi-tenant object-storage service over
+// the solid-state stack (fs + storman + ftl): the serving layer the
+// ROADMAP's north star demands, and the harness under which the paper's
+// cleaning bandwidth becomes a visible saturation knee (experiment E12).
+//
+// Each tenant gets a session scoped to its own directory; objects are
+// keyed files under it. Three serving-stack mechanisms sit between
+// requests and the file system:
+//
+//   - sync group-commit: an explicit sync whose arrival falls within the
+//     batch window of the last completed sync is absorbed by it — many
+//     clients calling sync pay for one checkpoint;
+//   - watermark admission control: when write-buffer occupancy crosses
+//     the high watermark while the flash cleaner is behind its free-space
+//     target, new writes are shed with ErrOverloaded until occupancy
+//     falls below the low watermark or the cleaner catches up
+//     (hysteresis, so admission does not flap);
+//   - graceful degradation: shed requests are cheap — the server stays
+//     responsive for reads and keeps latency bounded instead of letting
+//     the queue grow without bound.
+//
+// The backpressure signals are the same obs gauges the dashboards read
+// (storman "buffer_occupancy", ftl "cleaner_lag_blocks"), so operators
+// and the admission controller never disagree about why load was shed.
+//
+// The storage stack is single-threaded virtual-time simulation, so the
+// server serialises requests under a mutex; concurrency (TCP handlers,
+// test clients) queues at that lock, and queueing delay shows up in
+// virtual-time latency via the request's Arrival timestamp.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ssmobile/internal/fs"
+	"ssmobile/internal/ftl"
+	"ssmobile/internal/obs"
+	"ssmobile/internal/sim"
+	"ssmobile/internal/storman"
+)
+
+// Typed service errors. The TCP layer maps them to wire codes and the
+// client helper maps the codes back, so callers on either side of the
+// socket can errors.Is against the same values.
+var (
+	// ErrOverloaded reports a write shed by admission control: the write
+	// buffer is above the high watermark and the cleaner is behind.
+	ErrOverloaded = errors.New("server: overloaded, write shed")
+	// ErrDraining reports a request that arrived after shutdown began.
+	ErrDraining = errors.New("server: draining, not accepting requests")
+	// ErrNotFound reports an operation on a missing object.
+	ErrNotFound = errors.New("server: object not found")
+	// ErrBadRequest reports a malformed request.
+	ErrBadRequest = errors.New("server: bad request")
+)
+
+// Backend is the storage stack the server serves from. The fields are
+// the layers core.NewSolidState assembles; server deliberately does not
+// import core, so core can drive server in experiments.
+type Backend struct {
+	FS      *fs.FS
+	Storage *storman.Manager
+	FTL     *ftl.FTL
+	Clock   *sim.Clock
+}
+
+// Config parameterises the service.
+type Config struct {
+	// HighWatermark and LowWatermark bound the admission hysteresis on
+	// write-buffer occupancy (defaults 0.9 and 0.75). Shedding starts
+	// when occupancy reaches High while the cleaner is behind, and stops
+	// when occupancy falls to Low or the cleaner catches up.
+	HighWatermark, LowWatermark float64
+	// SyncBatchWindow is the group-commit window: a sync arriving within
+	// this duration of the last completed sync is absorbed by it
+	// (default 50ms). Zero-window behaviour still batches syncs whose
+	// arrival predates the last sync's completion.
+	SyncBatchWindow sim.Duration
+	// Obs receives the server's metrics; nil falls back to obs.Default().
+	Obs *obs.Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.HighWatermark <= 0 || c.HighWatermark > 1 {
+		c.HighWatermark = 0.9
+	}
+	if c.LowWatermark <= 0 || c.LowWatermark >= c.HighWatermark {
+		c.LowWatermark = c.HighWatermark * 5 / 6
+	}
+	if c.SyncBatchWindow <= 0 {
+		c.SyncBatchWindow = 50 * sim.Millisecond
+	}
+	return c
+}
+
+// OpKind is a service request type.
+type OpKind uint8
+
+// Request kinds.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpTruncate
+	OpDelete
+	OpSync
+)
+
+var opNames = [...]string{"get", "put", "truncate", "delete", "sync"}
+
+// String names the kind.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Request is one service request.
+type Request struct {
+	Kind OpKind
+	// Key names the object within the session's namespace.
+	Key uint64
+	// Offset addresses Get/Put transfers.
+	Offset int64
+	// Data is the Put payload.
+	Data []byte
+	// Size is the Get transfer length or the Truncate target length.
+	Size int64
+	// Arrival is the request's virtual arrival time; zero or past
+	// arrivals are served immediately, and the gap to completion is the
+	// reported latency (service plus queueing delay).
+	Arrival sim.Time
+}
+
+// Response reports a completed request.
+type Response struct {
+	// N is the byte count transferred.
+	N int
+	// Data is the Get payload (the server's buffer; copy to retain).
+	Data []byte
+	// Latency is completion minus arrival in virtual time.
+	Latency sim.Duration
+	// Batched reports a sync absorbed by group commit.
+	Batched bool
+}
+
+// Stats summarises the server's request accounting.
+type Stats struct {
+	// Completed counts successfully served requests, by kind and total.
+	Completed int64
+	// Shed counts writes rejected by admission control.
+	Shed int64
+	// NotFound counts requests that named a missing object.
+	NotFound int64
+	// BatchedSyncs counts syncs absorbed by group commit.
+	BatchedSyncs int64
+	// SyncFlushes counts syncs that actually flushed.
+	SyncFlushes int64
+}
+
+// Server is the object-storage service. All methods are safe for
+// concurrent use; requests serialise on an internal mutex because the
+// storage stack beneath is a single-threaded simulation.
+type Server struct {
+	mu       sync.Mutex
+	cfg      Config
+	b        Backend
+	draining bool
+	shedding bool
+	lastSync sim.Time
+	synced   bool // a sync has completed since startup
+
+	st        Stats
+	completed *obs.Counter
+	shed      *obs.Counter
+	notFound  *obs.Counter
+	batched   *obs.Counter
+	shedGauge *obs.Gauge
+	lat       map[OpKind]*obs.Histogram
+}
+
+// New builds a server over the backend.
+func New(b Backend, cfg Config) (*Server, error) {
+	if b.FS == nil || b.Storage == nil || b.FTL == nil || b.Clock == nil {
+		return nil, fmt.Errorf("server: backend needs FS, Storage, FTL and Clock")
+	}
+	cfg = cfg.withDefaults()
+	o := obs.Or(cfg.Obs)
+	s := &Server{
+		cfg:       cfg,
+		b:         b,
+		completed: o.Counter("requests_total", obs.Labels{"layer": "server", "result": "ok"}),
+		shed:      o.Counter("requests_total", obs.Labels{"layer": "server", "result": "shed"}),
+		notFound:  o.Counter("requests_total", obs.Labels{"layer": "server", "result": "notfound"}),
+		batched:   o.Counter("batched_syncs_total", obs.Labels{"layer": "server"}),
+		lat:       make(map[OpKind]*obs.Histogram),
+	}
+	for k := OpGet; k <= OpSync; k++ {
+		s.lat[k] = o.Histogram("request_latency_ns", obs.Labels{"layer": "server", "op": k.String()})
+	}
+	s.shedGauge = o.Gauge("shedding", obs.Labels{"layer": "server"})
+	return s, nil
+}
+
+// Session scopes requests to one tenant's directory.
+type Session struct {
+	s      *Server
+	tenant string
+	dir    string
+}
+
+// Open starts (or resumes) a tenant session, creating its directory.
+func (s *Server) Open(tenant string) (*Session, error) {
+	if tenant == "" || !validTenant(tenant) {
+		return nil, fmt.Errorf("%w: bad tenant %q", ErrBadRequest, tenant)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	dir := "/srv/" + tenant
+	if err := s.b.FS.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	return &Session{s: s, tenant: tenant, dir: dir}, nil
+}
+
+func validTenant(t string) bool {
+	for _, r := range t {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Tenant reports the session's tenant name.
+func (sess *Session) Tenant() string { return sess.tenant }
+
+func (sess *Session) path(key uint64) string {
+	return fmt.Sprintf("%s/o%d", sess.dir, key)
+}
+
+// Do serves one request: it advances virtual time to the request's
+// arrival (running background daemons and idle cleaning in the gap),
+// applies admission control, dispatches, and reports the virtual-time
+// latency from arrival to completion.
+func (sess *Session) Do(req Request) (Response, error) {
+	s := sess.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Response{}, ErrDraining
+	}
+
+	// Background work runs at the start of the idle gap: the write-back
+	// daemon migrates aged blocks, and — only if there is an idle gap
+	// before this request's arrival — the cleaner gets the gap to reclaim
+	// space. Under light load cleaning is free; once arrivals outpace
+	// service there are no gaps, the cleaner falls behind, its lag grows,
+	// and admission control engages — the saturation knee.
+	now := s.b.Clock.Now()
+	idle := req.Arrival > now
+	var err error
+	if idle {
+		err = s.b.Storage.Tick()
+	} else {
+		err = s.b.Storage.TickDaemon()
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	now = s.b.Clock.Now()
+	arrival := req.Arrival
+	if arrival > now {
+		s.b.Clock.AdvanceTo(arrival)
+	} else if arrival == 0 {
+		arrival = now
+	}
+
+	s.updateAdmission()
+	if s.shedding && (req.Kind == OpPut || req.Kind == OpTruncate) {
+		s.st.Shed++
+		s.shed.Inc()
+		return Response{}, ErrOverloaded
+	}
+
+	resp, err := s.dispatch(sess, req)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			s.st.NotFound++
+			s.notFound.Inc()
+		}
+		return Response{}, err
+	}
+	resp.Latency = s.b.Clock.Now().Sub(arrival)
+	s.st.Completed++
+	s.completed.Inc()
+	s.lat[req.Kind].ObserveDuration(resp.Latency)
+	return resp, nil
+}
+
+// updateAdmission moves the hysteresis state machine: shed when the
+// buffer is high-water full and the cleaner is behind; re-admit when
+// occupancy drops to the low watermark or the cleaner catches up.
+func (s *Server) updateAdmission() {
+	occ := s.b.Storage.BufferOccupancy()
+	lag := s.b.FTL.CleanerLag()
+	if !s.shedding {
+		if occ >= s.cfg.HighWatermark && lag > 0 {
+			s.shedding = true
+		}
+	} else if occ <= s.cfg.LowWatermark || lag == 0 {
+		s.shedding = false
+	}
+	if s.shedding {
+		s.shedGauge.Set(1)
+	} else {
+		s.shedGauge.Set(0)
+	}
+}
+
+func (s *Server) dispatch(sess *Session, req Request) (Response, error) {
+	switch req.Kind {
+	case OpGet:
+		return s.doGet(sess, req)
+	case OpPut:
+		return s.doPut(sess, req)
+	case OpTruncate:
+		return s.doTruncate(sess, req)
+	case OpDelete:
+		return s.doDelete(sess, req)
+	case OpSync:
+		return s.doSync(req)
+	default:
+		return Response{}, fmt.Errorf("%w: unknown op %d", ErrBadRequest, int(req.Kind))
+	}
+}
+
+func (s *Server) doGet(sess *Session, req Request) (Response, error) {
+	if req.Size < 0 || req.Offset < 0 {
+		return Response{}, fmt.Errorf("%w: negative get extent", ErrBadRequest)
+	}
+	p := sess.path(req.Key)
+	if !s.b.FS.Exists(p) {
+		return Response{}, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	buf := make([]byte, req.Size)
+	n, err := s.b.FS.ReadAt(p, req.Offset, buf)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{N: n, Data: buf[:n]}, nil
+}
+
+func (s *Server) doPut(sess *Session, req Request) (Response, error) {
+	if req.Offset < 0 {
+		return Response{}, fmt.Errorf("%w: negative put offset", ErrBadRequest)
+	}
+	p := sess.path(req.Key)
+	if !s.b.FS.Exists(p) {
+		if err := s.b.FS.Create(p); err != nil {
+			return Response{}, err
+		}
+	}
+	n, err := s.b.FS.WriteAt(p, req.Offset, req.Data)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{N: n}, nil
+}
+
+func (s *Server) doTruncate(sess *Session, req Request) (Response, error) {
+	if req.Size < 0 {
+		return Response{}, fmt.Errorf("%w: negative truncate size", ErrBadRequest)
+	}
+	p := sess.path(req.Key)
+	if !s.b.FS.Exists(p) {
+		return Response{}, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	if err := s.b.FS.Truncate(p, req.Size); err != nil {
+		return Response{}, err
+	}
+	return Response{}, nil
+}
+
+func (s *Server) doDelete(sess *Session, req Request) (Response, error) {
+	// Idempotent: deleting a missing object succeeds, so retried deletes
+	// and delete-after-shed races never surface spurious errors.
+	p := sess.path(req.Key)
+	if !s.b.FS.Exists(p) {
+		return Response{}, nil
+	}
+	if err := s.b.FS.Remove(p); err != nil {
+		return Response{}, err
+	}
+	return Response{}, nil
+}
+
+// doSync implements group commit: a sync whose arrival is covered by the
+// last completed sync — or falls within the batch window of it — rides
+// that flush for free.
+func (s *Server) doSync(req Request) (Response, error) {
+	now := s.b.Clock.Now()
+	arrival := req.Arrival
+	if arrival == 0 {
+		arrival = now
+	}
+	if s.synced && (arrival <= s.lastSync || now.Sub(s.lastSync) <= s.cfg.SyncBatchWindow) {
+		s.st.BatchedSyncs++
+		s.batched.Inc()
+		return Response{Batched: true}, nil
+	}
+	if err := s.b.FS.Sync(); err != nil {
+		return Response{}, err
+	}
+	s.lastSync = s.b.Clock.Now()
+	s.synced = true
+	s.st.SyncFlushes++
+	return Response{}, nil
+}
+
+// Idle advances virtual time to t, running background daemons — the
+// driver's way of modelling a quiet period after the last request.
+func (s *Server) Idle(t sim.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.b.Storage.Tick(); err != nil {
+		return err
+	}
+	if t > s.b.Clock.Now() {
+		s.b.Clock.AdvanceTo(t)
+	}
+	return s.b.Storage.Tick()
+}
+
+// Drain stops admitting requests and flushes everything: in-flight
+// requests (already past the draining check) complete first because
+// Drain queues on the same mutex.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil
+	}
+	s.draining = true
+	return s.b.FS.Sync()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats returns a snapshot of the request accounting.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}

@@ -176,6 +176,7 @@ func New(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Mana
 		dramReads:         o.Counter("reads_total", obs.Labels{"layer": "storman", "medium": "dram"}),
 	}
 	o.GaugeFunc("dram_pages_in_use", lbl, func() float64 { return float64(m.totalPages - len(m.freeDRAM)) })
+	o.GaugeFunc("buffer_occupancy", lbl, m.BufferOccupancy)
 	for p := m.totalPages - 1; p >= 0; p-- {
 		m.freeDRAM = append(m.freeDRAM, p)
 	}
@@ -196,6 +197,16 @@ func (m *Manager) FlashPagesFree() int { return len(m.freeLPN) }
 
 // DRAMPagesFree reports the free DRAM buffer pages.
 func (m *Manager) DRAMPagesFree() int { return len(m.freeDRAM) }
+
+// BufferOccupancy reports the in-use fraction of the DRAM buffer in
+// [0, 1]. The serving layer's watermark admission control keys off this
+// value: a full buffer means every further write pays flash latency.
+func (m *Manager) BufferOccupancy() float64 {
+	if m.totalPages <= 0 {
+		return 0
+	}
+	return float64(m.totalPages-len(m.freeDRAM)) / float64(m.totalPages)
+}
 
 func (m *Manager) pageAddr(page int) int64 {
 	return m.cfg.DRAMBase + int64(page)*int64(m.cfg.BlockBytes)
@@ -505,6 +516,18 @@ func (m *Manager) dropBlock(loc *blockLoc) error {
 // migrated to flash, and the translation layer gets an idle-cleaning
 // opportunity.
 func (m *Manager) Tick() error {
+	if err := m.TickDaemon(); err != nil {
+		return err
+	}
+	return m.fl.CleanIdle()
+}
+
+// TickDaemon runs only the write-back daemon, without offering the
+// translation layer an idle-cleaning opportunity. The serving layer uses
+// it when requests are backlogged: aged blocks must still migrate, but
+// the cleaner gets no free ride when there is no idle time — that is
+// when its lag becomes visible and admission control engages.
+func (m *Manager) TickDaemon() error {
 	if m.cfg.WriteBackDelay > 0 {
 		now := m.clock.Now()
 		for {
@@ -522,7 +545,7 @@ func (m *Manager) Tick() error {
 			}
 		}
 	}
-	return m.fl.CleanIdle()
+	return nil
 }
 
 // SyncObject migrates the object's dirty blocks to flash — an fsync of

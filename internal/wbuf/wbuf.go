@@ -159,7 +159,7 @@ func New(cfg Config, clock *sim.Clock, sink Sink) (*Buffer, error) {
 		return nil, fmt.Errorf("wbuf: nil sink")
 	}
 	o := obs.Or(cfg.Obs)
-	return &Buffer{
+	b := &Buffer{
 		cfg:               cfg,
 		clock:             clock,
 		sink:              sink,
@@ -174,7 +174,20 @@ func New(cfg Config, clock *sim.Clock, sink Sink) (*Buffer, error) {
 		deleteAbsorbed:    o.Counter("absorbed_bytes_total", obs.Labels{"layer": "wbuf", "reason": "delete"}),
 		evictions:         o.Counter("evictions_total", obs.Labels{"layer": "wbuf"}),
 		daemonFlush:       o.Counter("daemon_flushes_total", obs.Labels{"layer": "wbuf"}),
-	}, nil
+	}
+	// The server's admission control keys off this same gauge, so
+	// backpressure decisions and dashboards always agree.
+	o.GaugeFunc("occupancy", obs.Labels{"layer": "wbuf"}, b.Occupancy)
+	return b, nil
+}
+
+// Occupancy reports the buffered fraction of capacity in [0, 1]; a
+// disabled (zero-capacity) buffer reports 0.
+func (b *Buffer) Occupancy() float64 {
+	if b.cfg.CapacityBytes <= 0 {
+		return 0
+	}
+	return float64(b.size) / float64(b.cfg.CapacityBytes)
 }
 
 // Config returns the buffer configuration.
