@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ssmobile/internal/core"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/server"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/trace"
@@ -238,6 +239,48 @@ func BenchmarkServeThroughput(b *testing.B) {
 		srv, err := server.New(server.Backend{
 			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
 		}, server.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := server.RunWorkload(srv, workload.Config{
+			Seed: benchSeed, Clients: 8, OpsPerClient: 200, Keys: 16,
+			Popularity: workload.Zipf,
+			Mix:        workload.Mix{Read: 0.55, Write: 0.35, Truncate: 0.02, Delete: 0.03, Sync: 0.05},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		served = st.CompletedRate()
+		shed = float64(st.Shed)
+		p99ms = st.Lat.Quantile(0.99) / 1e6
+	}
+	b.ReportMetric(served, "served-vop/s")
+	b.ReportMetric(shed, "shed")
+	b.ReportMetric(p99ms, "p99-vms")
+}
+
+// BenchmarkTracedServeThroughput is BenchmarkServeThroughput with
+// request-scoped tracing enabled end to end: every layer shares an
+// explicit observer (live tracer), so every request is served under a
+// trace context and every device op records a span. Comparing its ns/op
+// against BenchmarkServeThroughput is the tracing overhead the PR's
+// BENCH_pr5.json records; the served/shed/p99 metrics must be identical
+// to the untraced run — tracing never alters simulated behaviour.
+func BenchmarkTracedServeThroughput(b *testing.B) {
+	var served, shed float64
+	var p99ms float64
+	for i := 0; i < b.N; i++ {
+		o := obs.New(1 << 16)
+		sys, err := core.NewSolidState(core.SolidStateConfig{
+			DRAMBytes: 8 << 20, FlashBytes: 16 << 20, BufferBytes: 1 << 20,
+			IdleCleanBlocks: 24, Obs: o,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := server.New(server.Backend{
+			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+		}, server.Config{Obs: o})
 		if err != nil {
 			b.Fatal(err)
 		}

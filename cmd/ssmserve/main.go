@@ -35,6 +35,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -61,6 +63,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 
 	addr := flag.String("addr", "127.0.0.1:7633", "serve: listen address")
+	adminAddr := flag.String("admin", "", "ops-surface HTTP address (/metrics, /healthz, /debug/pprof, /debug/flightrecord); empty disables (smoke always binds one on 127.0.0.1:0)")
+	flightDir := flag.String("flight", "", "flight-recorder output directory; empty disables the recorder")
 
 	clients := flag.Int("clients", 4, "smoke: concurrent clients")
 	ops := flag.Int("ops", 200, "smoke: requests per client")
@@ -84,28 +88,50 @@ func main() {
 	o := obs.New(0)
 	obs.SetDefault(o)
 
+	// The flight recorder snapshots the recent span ring plus metrics on
+	// incidents (shed-engage, drain, power-cut remount) and on demand.
+	// Smoke provisions its own temporary directory when none is given so
+	// CI exercises the dump path unconditionally.
+	fdir := *flightDir
+	if fdir == "" && flag.Arg(0) == "smoke" {
+		tmp, err := os.MkdirTemp("", "ssmserve-flight-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		fdir = tmp
+	}
+	if fdir != "" {
+		fr, err := obs.NewFlightRecorder(o, fdir, 0, 0)
+		if err != nil {
+			fatal(err)
+		}
+		o.SetFlightRecorder(fr)
+	}
+
 	srv, tcp, err := build(buildConfig{
 		dramMB: *dramMB, flashMB: *flashMB, bufferMB: *bufferMB,
 		idleClean: *idleClean, high: *high, low: *low,
 		syncWindow: sim.D(*syncWindow),
+		obs:        o,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	admin := server.NewAdmin(srv, o)
 
 	var runErr error
 	switch flag.Arg(0) {
 	case "serve":
-		runErr = serve(tcp, *addr)
+		runErr = serve(tcp, admin, *addr, *adminAddr)
 	case "smoke":
-		runErr = smoke(tcp, smokeConfig{
+		runErr = smoke(tcp, admin, smokeConfig{
 			clients: *clients, ops: *ops, seed: *seed, writeRatio: *writeRatio,
 		})
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	_ = srv
 
 	if err := obs.DumpFiles(o, *metricsOut, "", ""); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmserve:", err)
@@ -136,10 +162,12 @@ type buildConfig struct {
 	idleClean                 int
 	high, low                 float64
 	syncWindow                sim.Duration
+	obs                       *obs.Observer
 }
 
 // build assembles the solid-state stack and the service over it.
 func build(bc buildConfig) (*server.Server, *server.TCP, error) {
+	o := bc.obs
 	sys, err := core.NewSolidState(core.SolidStateConfig{
 		DRAMBytes:       bc.dramMB << 20,
 		FlashBytes:      bc.flashMB << 20,
@@ -155,6 +183,13 @@ func build(bc buildConfig) (*server.Server, *server.TCP, error) {
 		HighWatermark:   bc.high,
 		LowWatermark:    bc.low,
 		SyncBatchWindow: bc.syncWindow,
+		OnShedEngage: func() {
+			// Capture the span ring the moment overload protection kicks
+			// in — the spans leading up to it are the interesting ones.
+			if fr := o.FlightRecorder(); fr != nil {
+				fr.Dump("shed-engage")
+			}
+		},
 	})
 	if err != nil {
 		return nil, nil, err
@@ -164,17 +199,28 @@ func build(bc buildConfig) (*server.Server, *server.TCP, error) {
 
 // serve listens until SIGINT/SIGTERM, then drains: in-flight requests
 // complete, a final sync runs, and the process exits 0.
-func serve(tcp *server.TCP, addr string) error {
+func serve(tcp *server.TCP, admin *server.Admin, addr, adminAddr string) error {
 	if err := tcp.Listen(addr); err != nil {
 		return err
+	}
+	if adminAddr != "" {
+		if err := admin.Listen(adminAddr); err != nil {
+			return err
+		}
+		defer admin.Shutdown()
+		fmt.Printf("ssmserve: ops surface on http://%s/metrics\n", admin.Addr())
 	}
 	fmt.Printf("ssmserve: listening on %s\n", tcp.Addr())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("ssmserve: draining")
+	admin.SetDraining(true)
 	if err := tcp.Shutdown(); err != nil {
 		return err
+	}
+	if fr := obs.Default().FlightRecorder(); fr != nil {
+		fr.Dump("drain")
 	}
 	fmt.Println("ssmserve: drained, all data stable")
 	return nil
@@ -189,11 +235,17 @@ type smokeConfig struct {
 // smoke serves on a loopback port and drives every generated client
 // over a real TCP connection from its own goroutine. Overload sheds are
 // tolerated (they are the admission control working); anything else
-// fails the run.
-func smoke(tcp *server.TCP, sc smokeConfig) error {
+// fails the run. The ops surface is exercised as part of the gate: the
+// run scrapes /metrics, validates the exposition, and verifies the
+// drain-time flight record loads back.
+func smoke(tcp *server.TCP, admin *server.Admin, sc smokeConfig) error {
 	if err := tcp.Listen("127.0.0.1:0"); err != nil {
 		return err
 	}
+	if err := admin.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer admin.Shutdown()
 	addr := tcp.Addr().String()
 	fmt.Printf("ssmserve: smoke on %s, %d clients x %d ops, seed %d\n",
 		addr, sc.clients, sc.ops, sc.seed)
@@ -219,8 +271,27 @@ func smoke(tcp *server.TCP, sc smokeConfig) error {
 		}(i)
 	}
 	wg.Wait()
+
+	// Scrape the ops surface while the server is still live, before the
+	// drain tears anything down — exactly what a monitoring agent sees.
+	if err := scrapeMetrics(admin.Addr().String()); err != nil {
+		return fmt.Errorf("smoke /metrics: %w", err)
+	}
+	admin.SetDraining(true)
 	if err := tcp.Shutdown(); err != nil {
 		return err
+	}
+	if fr := obs.Default().FlightRecorder(); fr != nil {
+		path, err := fr.Dump("drain")
+		if err != nil {
+			return fmt.Errorf("smoke flight dump: %w", err)
+		}
+		rec, err := obs.ReadFlightRecord(path)
+		if err != nil {
+			return fmt.Errorf("smoke flight record does not load: %w", err)
+		}
+		fmt.Printf("ssmserve: flight record %q, %d spans, %d metric samples\n",
+			rec.Reason, len(rec.Spans), len(rec.Metrics.Metrics))
 	}
 	var completed, sheds int
 	for i := range errs {
@@ -231,6 +302,35 @@ func smoke(tcp *server.TCP, sc smokeConfig) error {
 		sheds += shed[i]
 	}
 	fmt.Printf("ssmserve: smoke ok, %d requests completed, %d shed, clean drain\n", completed, sheds)
+	return nil
+}
+
+// scrapeMetrics fetches /metrics over HTTP and validates the Prometheus
+// text exposition, requiring the series an operator dashboard depends
+// on. A malformed line or a missing series fails the smoke run.
+func scrapeMetrics(adminAddr string) error {
+	resp, err := http.Get("http://" + adminAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	required := []string{
+		"requests_total",
+		"serve_latency_breakdown",
+		"free_blocks",
+		"buffer_occupancy",
+	}
+	if err := obs.CheckExposition(body, required); err != nil {
+		return err
+	}
+	fmt.Printf("ssmserve: /metrics ok, %d bytes, required series present\n", len(body))
 	return nil
 }
 

@@ -5,10 +5,17 @@
 //
 //	ssmtrace gen [-kind baker|pim|blocks] [-minutes M] [-seed N] [-o FILE]
 //	ssmtrace stats [-metrics FILE] [FILE]
+//	ssmtrace attribute [-top N] [-metrics FILE] [FILE]
 //
-// Both subcommands accept -cpuprofile/-memprofile for pprof profiles.
+// All subcommands accept -cpuprofile/-memprofile for pprof profiles.
 // Generated traces use the text format of internal/trace: one operation
 // per line, "<time-ns> <kind> <file> <offset> <size>".
+//
+// attribute reads a span trace — either the JSONL sink written by
+// -trace flags across the tools, or a flight-recorder dump from
+// ssmserve — reconstructs each request's span tree, and prints the
+// per-stage latency-attribution table (queue, buffer, flush, flash,
+// clean, other) plus the -top slowest requests with their breakdowns.
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"ssmobile/internal/obs"
 	"ssmobile/internal/prof"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/trace"
@@ -33,6 +42,8 @@ func main() {
 		run = gen
 	case "stats":
 		run = stats
+	case "attribute":
+		run = attribute
 	default:
 		usage()
 	}
@@ -69,6 +80,7 @@ func runProfiled(args []string, pf *profFlags, run func([]string, *profFlags) er
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ssmtrace gen [-kind baker|pim|blocks] [-minutes M] [-seed N] [-o FILE]")
 	fmt.Fprintln(os.Stderr, "       ssmtrace stats [-metrics FILE] [FILE]")
+	fmt.Fprintln(os.Stderr, "       ssmtrace attribute [-top N] [-metrics FILE] [FILE]")
 	os.Exit(2)
 }
 
@@ -121,6 +133,105 @@ func gen(args []string, pf *profFlags) error {
 	}
 	_, err = tr.WriteTo(w)
 	return err
+}
+
+// attribute reconstructs request span trees from a recorded trace and
+// prints where each request's virtual time went.
+func attribute(args []string, pf *profFlags) error {
+	fs := flag.NewFlagSet("attribute", flag.ExitOnError)
+	top := fs.Int("top", 5, "also list the N slowest requests with their breakdowns")
+	metricsOut := fs.String("metrics", "", "also write the attributions as JSON to this file")
+	pf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	stopCPU, err := prof.StartCPU(pf.cpu)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
+	var r io.Reader = os.Stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	spans, dropped, err := obs.LoadSpans(r)
+	if err != nil {
+		return err
+	}
+	reqs, st := obs.Attribute(spans)
+	fmt.Printf("spans:         %d (%d dropped at record time)\n", len(spans), dropped)
+	fmt.Printf("requests:      %d\n", st.Requests)
+	fmt.Printf("background:    %d spans outside any request\n", st.Background)
+	if st.Orphans > 0 {
+		fmt.Printf("orphans:       %d spans with no surviving root (ring overwrote it)\n", st.Orphans)
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+
+	var total obs.Breakdown
+	var cleans int
+	for _, req := range reqs {
+		total.Add(req.Breakdown)
+		cleans += req.InducedCleans
+	}
+	sum := total.Total()
+	fmt.Printf("induced cleans: %d\n", cleans)
+	fmt.Printf("total attributed virtual time: %v\n", sum)
+	for _, stage := range obs.BreakdownStages {
+		d := total.Stage(stage)
+		pct := 0.0
+		if sum > 0 {
+			pct = 100 * float64(d) / float64(sum)
+		}
+		fmt.Printf("  %-8s %12v  %5.1f%%\n", stage, d, pct)
+	}
+
+	if *top > 0 {
+		sorted := make([]obs.RequestAttribution, len(reqs))
+		copy(sorted, reqs)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Breakdown.Total() > sorted[j].Breakdown.Total()
+		})
+		if len(sorted) > *top {
+			sorted = sorted[:*top]
+		}
+		fmt.Printf("slowest %d requests:\n", len(sorted))
+		for _, req := range sorted {
+			fmt.Printf("  %s/%s @%v total=%v spans=%d cleans=%d:",
+				req.Root.Layer, req.Root.Op, req.Root.Start, req.Breakdown.Total(), req.Spans, req.InducedCleans)
+			for _, stage := range obs.BreakdownStages {
+				if d := req.Breakdown.Stage(stage); d > 0 {
+					fmt.Printf(" %s=%v", stage, d)
+				}
+			}
+			fmt.Println()
+		}
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Stats    obs.AttributionStats     `json:"stats"`
+			Requests []obs.RequestAttribution `json:"requests"`
+		}{st, reqs}); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 func stats(args []string, pf *profFlags) error {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"ssmobile/internal/obs"
 )
 
 // The engine's central promise: running the full experiment suite with a
@@ -32,6 +34,35 @@ func TestRunAllParallelMatchesSerial(t *testing.T) {
 					seed, firstDiffLine(serial.String(), parallel.String()))
 			}
 		})
+	}
+}
+
+// The observability twin of the promise above: telemetry must never feed
+// back into results. The whole suite is run once against an observer with
+// a live tracer (every span recorded, request contexts active in the
+// serving experiments) and once against no observer at all; stdout must
+// be byte-identical. Spans never advance the simulated clock — recording
+// happens at operation boundaries the clock already passed — so this is
+// the test that catches any future probe that forgets the rule.
+func TestRunAllTracedMatchesUntraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	const seed = 1993
+	var traced, untraced strings.Builder
+	o := obs.New(1 << 16)
+	if err := RunAllParallelWithObserver(&traced, seed, 1, o); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	if o.Tracer.Total() == 0 {
+		t.Fatal("traced run recorded no spans — the observer was not wired through")
+	}
+	if err := RunAllParallelWithObserver(&untraced, seed, 1, nil); err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+	if traced.String() != untraced.String() {
+		t.Errorf("tracing changed experiment output:\n%s",
+			firstDiffLine(untraced.String(), traced.String()))
 	}
 }
 

@@ -65,9 +65,10 @@ func Registry(seed int64) map[string]Runner {
 				func(je *Env) (*Table, error) { return E9FlashParts(je, seed) },
 			)
 		},
-		"e10": func(env *Env) ([]*Table, error) { return E10CrashAndBattery(env, seed) },
-		"e11": one(E11PowerCuts),
-		"e12": one(func(env *Env) (*Table, error) { return E12Saturation(env, seed) }),
+		"e10":  func(env *Env) ([]*Table, error) { return E10CrashAndBattery(env, seed) },
+		"e11":  one(E11PowerCuts),
+		"e12":  one(func(env *Env) (*Table, error) { return E12Saturation(env, seed) }),
+		"e12b": one(func(env *Env) (*Table, error) { return E12bAttribution(env, seed) }),
 	}
 }
 
@@ -75,18 +76,19 @@ func Registry(seed int64) map[string]Runner {
 // CLI's list subcommand.
 func Descriptions() map[string]string {
 	return map[string]string{
-		"e1":  "device comparison (§2): DRAM/flash/disk latency, cost, power, plus battery life and full-stack context",
-		"e2":  "technology trends (§2): cost and density crossovers, 40MB flash vs disk by ~1996",
-		"e3":  "write buffering (§3.3): battery-backed DRAM buffer absorbing 40-50% of write traffic",
-		"e4":  "read in place (§3.3): serving reads from flash without copying into DRAM",
-		"e5":  "execute in place (§3.2): XIP from the code card vs demand paging from disk",
-		"e6":  "wear leveling (§3.3): cleaning policies, device lifetime, static leveling",
-		"e7":  "banking and segregation (§3.3): parallel banks hiding erase latency, hot/cold separation",
-		"e8":  "sizing (§3.3): DRAM buffer size against write-traffic reduction",
-		"e9":  "end to end (§4): file workloads on the full solid-state vs disk organisations",
-		"e10": "crash recovery and battery (§3.1): recovery box after crashes and power failures",
-		"e11": "recovery under power cuts (§3.1, §4): crash-point enumeration at every device op, with torn programs and interrupted erases",
-		"e12": "serving-stack saturation (§3.3, §4): open-loop clients vs cleaning bandwidth through the object-storage service, with latency percentiles and load shedding",
+		"e1":   "device comparison (§2): DRAM/flash/disk latency, cost, power, plus battery life and full-stack context",
+		"e2":   "technology trends (§2): cost and density crossovers, 40MB flash vs disk by ~1996",
+		"e3":   "write buffering (§3.3): battery-backed DRAM buffer absorbing 40-50% of write traffic",
+		"e4":   "read in place (§3.3): serving reads from flash without copying into DRAM",
+		"e5":   "execute in place (§3.2): XIP from the code card vs demand paging from disk",
+		"e6":   "wear leveling (§3.3): cleaning policies, device lifetime, static leveling",
+		"e7":   "banking and segregation (§3.3): parallel banks hiding erase latency, hot/cold separation",
+		"e8":   "sizing (§3.3): DRAM buffer size against write-traffic reduction",
+		"e9":   "end to end (§4): file workloads on the full solid-state vs disk organisations",
+		"e10":  "crash recovery and battery (§3.1): recovery box after crashes and power failures",
+		"e11":  "recovery under power cuts (§3.1, §4): crash-point enumeration at every device op, with torn programs and interrupted erases",
+		"e12":  "serving-stack saturation (§3.3, §4): open-loop clients vs cleaning bandwidth through the object-storage service, with latency percentiles and load shedding",
+		"e12b": "latency attribution at the knee (§3.3): request-scoped causal tracing decomposes the p99 into queue/buffer/flush/flash/clean stages and names the dominant stall",
 	}
 }
 
@@ -143,9 +145,17 @@ func RunAll(w io.Writer, seed int64) error {
 // telemetry merged), matching what a sequential run would have emitted
 // before stopping.
 func RunAllParallel(w io.Writer, seed int64, par int) error {
+	return RunAllParallelWithObserver(w, seed, par, nil)
+}
+
+// RunAllParallelWithObserver is RunAllParallel against an explicit
+// observer (nil falls back to obs.Default()). The determinism tests use
+// it to assert that stdout is byte-identical whether the observer traces
+// or not — telemetry must never feed back into results.
+func RunAllParallelWithObserver(w io.Writer, seed int64, par int, o *obs.Observer) error {
 	ids := ExperimentIDs()
 	reg := Registry(seed)
-	root := &Env{obs: obs.Default(), sched: newSched(par)}
+	root := &Env{obs: obs.Or(o), sched: newSched(par)}
 	results := make([][]*Table, len(ids))
 	err := root.ForEach(len(ids), func(i int, je *Env) error {
 		tables, err := reg[ids[i]](je)

@@ -322,6 +322,12 @@ func (s *SolidStateSystem) RemountAfterPowerFailure() (*SolidStateSystem, error)
 	if !s.DRAM.Lost() {
 		return nil, fmt.Errorf("core: remount without a power failure; call DRAM.PowerFail first")
 	}
+	// Preserve the last moments before the cut while the tracer ring
+	// still holds them: the remount rebuilds the stack and subsequent
+	// traffic would overwrite the evidence.
+	if fr := obs.Or(s.cfg.Obs).FlightRecorder(); fr != nil {
+		fr.Dump("power-cut-remount")
+	}
 	s.DRAM.Restore()
 	if s.Flash.Lost() {
 		// The cut may have hit the flash device mid-operation (fault

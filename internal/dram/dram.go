@@ -127,9 +127,11 @@ func (d *Device) activePower() float64 {
 	return d.cfg.Params.ActiveMilliwattsPerMB * float64(d.Capacity()) / (1 << 20)
 }
 
-// span opens an op span against this array's clock and meter.
+// span opens an op span against this array's clock and meter. DRAM time
+// is the write buffer doing its job, so it declares the buffer
+// latency-attribution stage.
 func (d *Device) span(op string) obs.SpanRef {
-	return d.obs.Span(d.clock, d.meter, "dram", op)
+	return d.obs.StageSpan(d.clock, d.meter, "dram", op, obs.StageBuffer)
 }
 
 // IdleMilliwatts reports the self-refresh draw of the whole array — the

@@ -119,6 +119,7 @@ type Device struct {
 	eraseCount []int64
 	wornOut    []bool
 	busyUntil  []sim.Time // per bank
+	eraseUntil []sim.Time // per bank: end of the last async erase's busy window
 
 	destructiveOps int64 // programs + spare programs + erases issued
 	lost           bool  // dead from an injected power cut until Restore
@@ -150,6 +151,7 @@ func New(cfg Config, clock *sim.Clock, meter *sim.EnergyMeter) (*Device, error) 
 		eraseCount:  make([]int64, cfg.Banks*cfg.BlocksPerBank),
 		wornOut:     make([]bool, cfg.Banks*cfg.BlocksPerBank),
 		busyUntil:   make([]sim.Time, cfg.Banks),
+		eraseUntil:  make([]sim.Time, cfg.Banks),
 		reads:       o.Counter("ops_total", lbl("read")),
 		programs:    o.Counter("ops_total", lbl("program")),
 		erases:      o.Counter("ops_total", lbl("erase")),
@@ -210,13 +212,25 @@ func (d *Device) activePower() float64 {
 }
 
 // waitBank advances past any in-progress operation on the bank and reports
-// how long the caller stalled.
+// how long the caller stalled. The part of the stall owed to a pending
+// background erase is recorded as its own erase_stall span with the
+// cleaning stage: EraseAsync pushed the erase cost off the cleaner's
+// clock, and this is the moment — possibly inside an innocent read or
+// program — where a foreground operation finally pays it.
 func (d *Device) waitBank(bank int) sim.Duration {
 	now := d.clock.Now()
 	if d.busyUntil[bank] <= now {
 		return 0
 	}
 	stall := d.busyUntil[bank].Sub(now)
+	if eu := d.eraseUntil[bank]; eu > now {
+		if eu > d.busyUntil[bank] {
+			eu = d.busyUntil[bank]
+		}
+		sp := d.obs.StageSpan(d.clock, d.meter, "flash", "erase_stall", obs.StageClean)
+		d.clock.AdvanceTo(eu)
+		sp.End(0, nil)
+	}
 	d.clock.AdvanceTo(d.busyUntil[bank])
 	return stall
 }
@@ -238,7 +252,7 @@ func (d *Device) BankBusyUntil(bank int) sim.Time { return d.busyUntil[bank] }
 // clock past any bank stalls and the transfer itself. It returns the total
 // latency charged.
 func (d *Device) Read(addr int64, buf []byte) (lat sim.Duration, err error) {
-	sp := d.obs.Span(d.clock, d.meter, "flash", "read")
+	sp := d.obs.StageSpan(d.clock, d.meter, "flash", "read", obs.StageFlash)
 	n0 := int64(len(buf))
 	defer func() { sp.End(n0, err) }()
 	if d.lost {
@@ -301,7 +315,7 @@ func (d *Device) checkSpare(unit int64) error {
 // ReadSpare copies the unit's spare area into buf (at most SpareBytes),
 // charging the read like any other access on the unit's bank.
 func (d *Device) ReadSpare(unit int64, buf []byte) (lat sim.Duration, err error) {
-	sp := d.obs.Span(d.clock, d.meter, "flash", "read_spare")
+	sp := d.obs.StageSpan(d.clock, d.meter, "flash", "read_spare", obs.StageFlash)
 	defer func() { sp.End(int64(len(buf)), err) }()
 	if d.lost {
 		return 0, ErrPowerCut
@@ -327,7 +341,7 @@ func (d *Device) ReadSpare(unit int64, buf []byte) (lat sim.Duration, err error)
 // ProgramSpare writes p into the unit's spare area under the usual
 // bit-clearing rule, synchronously.
 func (d *Device) ProgramSpare(unit int64, p []byte) (lat sim.Duration, err error) {
-	sp := d.obs.Span(d.clock, d.meter, "flash", "program_spare")
+	sp := d.obs.StageSpan(d.clock, d.meter, "flash", "program_spare", obs.StageFlash)
 	defer func() { sp.End(int64(len(p)), err) }()
 	if d.lost {
 		return 0, ErrPowerCut
@@ -419,7 +433,7 @@ func (d *Device) program(addr int64, p []byte) (sim.Duration, error) {
 // any bank stall plus the program time. The target region must be erased
 // (or the write must only clear bits). Programs may not span banks.
 func (d *Device) Program(addr int64, p []byte) (lat sim.Duration, err error) {
-	sp := d.obs.Span(d.clock, d.meter, "flash", "program")
+	sp := d.obs.StageSpan(d.clock, d.meter, "flash", "program", obs.StageFlash)
 	defer func() { sp.End(int64(len(p)), err) }()
 	if err := d.checkSameBank(addr, len(p)); err != nil {
 		return 0, err
@@ -438,7 +452,7 @@ func (d *Device) Program(addr int64, p []byte) (lat sim.Duration, err error) {
 // model, the bank is occupied for the stall-plus-program window, and the
 // caller's clock does not advance. Later operations on the same bank wait.
 func (d *Device) ProgramAsync(addr int64, p []byte) (err error) {
-	sp := d.obs.Span(d.clock, d.meter, "flash", "program_async")
+	sp := d.obs.StageSpan(d.clock, d.meter, "flash", "program_async", obs.StageFlash)
 	defer func() { sp.End(int64(len(p)), err) }()
 	if err := d.checkSameBank(addr, len(p)); err != nil {
 		return err
@@ -532,7 +546,7 @@ func (d *Device) applyErase(block int) {
 
 // Erase erases a block synchronously, advancing the caller's clock.
 func (d *Device) Erase(block int) (lat sim.Duration, err error) {
-	sp := d.obs.Span(d.clock, d.meter, "flash", "erase")
+	sp := d.obs.StageSpan(d.clock, d.meter, "flash", "erase", obs.StageFlash)
 	defer func() { sp.End(int64(d.cfg.BlockBytes), err) }()
 	if block < 0 || block >= d.NumBlocks() {
 		return 0, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, block, d.NumBlocks())
@@ -552,7 +566,7 @@ func (d *Device) Erase(block int) (lat sim.Duration, err error) {
 // and the caller's clock does not advance. This is how a cleaner erases
 // reclaimed blocks without stalling the foreground.
 func (d *Device) EraseAsync(block int) (err error) {
-	sp := d.obs.Span(d.clock, d.meter, "flash", "erase_async")
+	sp := d.obs.StageSpan(d.clock, d.meter, "flash", "erase_async", obs.StageFlash)
 	defer func() { sp.End(int64(d.cfg.BlockBytes), err) }()
 	if block < 0 || block >= d.NumBlocks() {
 		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, block, d.NumBlocks())
@@ -563,6 +577,10 @@ func (d *Device) EraseAsync(block int) (err error) {
 		return err
 	}
 	d.occupy(bank, dur)
+	// Everything queued on the bank up to this point must drain before
+	// the erase completes, so the whole busy window is erase-attributable
+	// for stall accounting (see waitBank).
+	d.eraseUntil[bank] = d.busyUntil[bank]
 	return nil
 }
 

@@ -632,7 +632,13 @@ func (f *FTL) cleanOne(victim int) (err error) {
 	if f.onClean != nil {
 		f.onClean(victim)
 	}
-	sp := f.span("clean")
+	// A clean running under a request context is induced work: the
+	// request did not ask for it, its timing just got charged it. The
+	// span carries a FollowFrom link to the request's root, and the
+	// clean stage is sticky — relocation reads/programs and the erase
+	// all count as cleaning stall. Idle cleans run outside any context
+	// and stay anonymous background spans.
+	sp := f.obs.InducedSpan(f.clock, f.dev.Meter(), "ftl", "clean", obs.StageClean)
 	defer func() { sp.End(int64(f.pagesPerBlock)*int64(f.cfg.PageBytes), err) }()
 	f.cleans.Inc()
 	base := int64(victim) * int64(f.pagesPerBlock)

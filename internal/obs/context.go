@@ -1,0 +1,290 @@
+// Request-scoped trace contexts: the causal thread that connects one
+// served request to every operation it forces through the stack.
+//
+// The storage layers cannot carry a context argument without rewriting
+// every method signature, and they do not need one: the stack beneath
+// the server is a single-threaded virtual-time simulation, serialized by
+// the server's mutex. The server therefore installs the active request's
+// TraceContext on the shared Observer (BeginRequest), every Span opened
+// while it is installed joins the request's tree automatically, and
+// Finish removes it. Layers keep calling the same probes; the context is
+// what changes their meaning.
+//
+// Each in-context span gets an ID, a Parent link to the enclosing open
+// span, and an effective latency stage (see Stage constants). Induced
+// work — a cleaner pass the request forced on its way through the FTL —
+// additionally carries a FollowFrom link back to the request's root
+// span, so trace viewers can attribute the stall to the request without
+// pretending it was a plain subroutine call.
+//
+// The context also accrues a per-stage virtual-time breakdown as spans
+// open and close: time between span boundaries is charged to the stage
+// of the innermost open span. Because the simulated clock only advances
+// inside device operations, this boundary accrual is exact — it equals
+// the per-span exclusive-time reconstruction Attribute performs on a
+// trace file, a property the tests pin.
+package obs
+
+import (
+	"ssmobile/internal/sim"
+)
+
+// Latency-attribution stages. A span's declared stage says what kind of
+// time it represents; the effective stage additionally honors
+// inheritance (an undeclared span belongs to whatever stage encloses it)
+// and cleaner stickiness (everything under an induced clean is cleaning
+// stall, including the flash programs relocating live pages).
+const (
+	// StageQueue is admission queueing: arrival to service start. It is
+	// never a span's stage — it precedes the root span — but appears in
+	// breakdowns via the root span's Queue field.
+	StageQueue = "queue"
+	// StageBuffer is DRAM work: write-buffer hits, rbox journaling.
+	StageBuffer = "buffer"
+	// StageFlush is write-buffer eviction: migrating a dirty block out of
+	// DRAM to make room (the paper's "write-buffer stall"). Device time
+	// inside a flush keeps its own stage; flush is the residue.
+	StageFlush = "flush"
+	// StageFlash is direct flash device time: programs, reads, erases not
+	// performed on behalf of the cleaner.
+	StageFlash = "flash"
+	// StageClean is cleaner work, and it is sticky: once a request is
+	// inside an induced clean, every nested operation is cleaning stall.
+	StageClean = "clean"
+	// StageOther is everything else: metadata walks, span-free gaps.
+	StageOther = "other"
+)
+
+// BreakdownStages lists the stage names in canonical (reporting) order.
+var BreakdownStages = []string{StageQueue, StageBuffer, StageFlush, StageFlash, StageClean, StageOther}
+
+// stage indices into Breakdown/TraceContext accumulation arrays.
+const (
+	stageQueue = iota
+	stageBuffer
+	stageFlush
+	stageFlash
+	stageClean
+	stageOther
+	numStages
+)
+
+var stageIndex = map[string]int{
+	StageQueue:  stageQueue,
+	StageBuffer: stageBuffer,
+	StageFlush:  stageFlush,
+	StageFlash:  stageFlash,
+	StageClean:  stageClean,
+	StageOther:  stageOther,
+}
+
+// EffectiveStage resolves a span's stage from its declared stage and the
+// effective stage of its enclosing span: cleaning is sticky, an explicit
+// declaration wins otherwise, and an undeclared span inherits its
+// parent (a root defaults to StageOther). Attribute and the live
+// TraceContext share this rule, which is why their numbers agree.
+func EffectiveStage(declared, parent string) string {
+	switch {
+	case parent == StageClean || declared == StageClean:
+		return StageClean
+	case declared != "":
+		return declared
+	case parent != "":
+		return parent
+	default:
+		return StageOther
+	}
+}
+
+// Breakdown is a per-request latency attribution: virtual time spent in
+// each stage. Queue plus the service stages sums to the request's
+// reported latency.
+type Breakdown struct {
+	Queue, Buffer, Flush, Flash, Clean, Other sim.Duration
+}
+
+// Total reports the summed attribution (the request's latency).
+func (b Breakdown) Total() sim.Duration {
+	return b.Queue + b.Buffer + b.Flush + b.Flash + b.Clean + b.Other
+}
+
+// Stage reports the duration attributed to the named stage.
+func (b Breakdown) Stage(name string) sim.Duration {
+	switch name {
+	case StageQueue:
+		return b.Queue
+	case StageBuffer:
+		return b.Buffer
+	case StageFlush:
+		return b.Flush
+	case StageFlash:
+		return b.Flash
+	case StageClean:
+		return b.Clean
+	case StageOther:
+		return b.Other
+	}
+	return 0
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Queue += o.Queue
+	b.Buffer += o.Buffer
+	b.Flush += o.Flush
+	b.Flash += o.Flash
+	b.Clean += o.Clean
+	b.Other += o.Other
+}
+
+func breakdownFrom(stages *[numStages]sim.Duration) Breakdown {
+	return Breakdown{
+		Queue:  stages[stageQueue],
+		Buffer: stages[stageBuffer],
+		Flush:  stages[stageFlush],
+		Flash:  stages[stageFlash],
+		Clean:  stages[stageClean],
+		Other:  stages[stageOther],
+	}
+}
+
+// ctxFrame is one open span on the request's stack.
+type ctxFrame struct {
+	id    uint64
+	stage int
+}
+
+// TraceContext is the causal identity of one in-flight request. It is
+// created by Observer.BeginRequest, consulted by every Span opened while
+// installed, and retired by Finish. It is not safe for concurrent use:
+// the single simulation thread (the server's request path, under its
+// mutex) is the only writer, which the installing caller guarantees.
+type TraceContext struct {
+	o     *Observer
+	t     *Tracer
+	clock *sim.Clock
+
+	root   uint64
+	layer  string
+	op     string
+	start  sim.Time
+	queue  sim.Duration
+	frames []ctxFrame
+	mark   sim.Time
+	stages [numStages]sim.Duration
+}
+
+// BeginRequest opens a request root span and installs its context on the
+// observer, so spans opened by the layers beneath join the request's
+// tree until Finish. queue is the admission-queueing delay that preceded
+// service (arrival to service start); it is recorded on the root span
+// and reported as the breakdown's StageQueue component.
+//
+// It returns nil — and the run stays untraced, at nil cost — when the
+// observer has no tracer, or when a request context is already active
+// (requests do not nest). The caller must Finish the returned context on
+// every path; tracing never alters simulated time or behaviour, only
+// what is recorded about it.
+func (o *Observer) BeginRequest(clock *sim.Clock, layer, op string, queue sim.Duration) *TraceContext {
+	if o == nil || o.Tracer == nil || clock == nil {
+		return nil
+	}
+	if o.reqCtx.Load() != nil {
+		return nil
+	}
+	tc := &TraceContext{
+		o: o, t: o.Tracer, clock: clock,
+		root:  o.spanIDs.Add(1),
+		layer: layer, op: op,
+		start: clock.Now(),
+		queue: queue,
+		mark:  clock.Now(),
+	}
+	tc.stages[stageQueue] = queue
+	tc.frames = append(tc.frames, ctxFrame{id: tc.root, stage: stageOther})
+	o.reqCtx.Store(tc)
+	return tc
+}
+
+// ActiveContext reports the installed request context, if any.
+func (o *Observer) ActiveContext() *TraceContext {
+	if o == nil {
+		return nil
+	}
+	return o.reqCtx.Load()
+}
+
+// Root reports the context's root span ID.
+func (tc *TraceContext) Root() uint64 {
+	if tc == nil {
+		return 0
+	}
+	return tc.root
+}
+
+// accrue charges the virtual time since the last span boundary to the
+// stage of the innermost open span.
+func (tc *TraceContext) accrue(now sim.Time) {
+	if d := now.Sub(tc.mark); d > 0 {
+		tc.stages[tc.frames[len(tc.frames)-1].stage] += d
+	}
+	tc.mark = now
+}
+
+// open pushes a child span; returns its id, parent id, and effective
+// stage name.
+func (tc *TraceContext) open(now sim.Time, declared string) (id, parent uint64, stage string) {
+	tc.accrue(now)
+	top := tc.frames[len(tc.frames)-1]
+	eff := declared
+	switch {
+	case top.stage == stageClean || declared == StageClean:
+		eff = StageClean
+	case declared == "":
+		eff = stageName(top.stage)
+	}
+	id = tc.o.spanIDs.Add(1)
+	tc.frames = append(tc.frames, ctxFrame{id: id, stage: stageIndex[eff]})
+	return id, top.id, eff
+}
+
+// close pops the innermost span after charging its trailing time.
+func (tc *TraceContext) close(now sim.Time) {
+	tc.accrue(now)
+	if len(tc.frames) > 1 {
+		tc.frames = tc.frames[:len(tc.frames)-1]
+	}
+}
+
+func stageName(idx int) string {
+	return BreakdownStages[idx]
+}
+
+// Finish closes the request: it records the root span (with the queue
+// delay and outcome), uninstalls the context from the observer, and
+// returns the per-stage latency breakdown. Safe on a nil context.
+func (tc *TraceContext) Finish(bytes int64, err error) Breakdown {
+	outcome := OutcomeOK
+	if err != nil {
+		outcome = OutcomeError
+	}
+	return tc.FinishOutcome(bytes, outcome)
+}
+
+// FinishOutcome is Finish with an explicit outcome string.
+func (tc *TraceContext) FinishOutcome(bytes int64, outcome string) Breakdown {
+	if tc == nil {
+		return Breakdown{}
+	}
+	now := tc.clock.Now()
+	tc.accrue(now)
+	tc.frames = tc.frames[:1]
+	tc.o.reqCtx.Store(nil)
+	tc.t.Record(Span{
+		Start: tc.start, End: now,
+		Layer: tc.layer, Op: tc.op,
+		Bytes: bytes, Outcome: outcome,
+		ID: tc.root, Queue: tc.queue, Stage: StageOther,
+	})
+	return breakdownFrom(&tc.stages)
+}

@@ -352,6 +352,15 @@ func (r *Registry) Histogram(name string, labels Labels) *Histogram {
 // sequence of registries always yields the same collector order — the
 // property that makes parallel experiment runs dump byte-identical
 // metrics. src must not be mutated concurrently with the merge.
+//
+// GaugeFunc liveness survives the merge: a merged read-through gauge
+// keeps reading the source instance's function, so later collections see
+// that instance's live state, not a value frozen at merge time. The
+// flip side is that merging a plain (function-less) gauge must CLEAR any
+// read-through a previous merge installed — otherwise the stale function
+// shadows the newer value forever and the merged gauge appears frozen.
+// Snapshot/Diff are point-in-time by design; liveness is the registry's
+// concern, not the snapshot's.
 func (r *Registry) Merge(src *Registry) {
 	if src == nil {
 		return
@@ -369,6 +378,9 @@ func (r *Registry) Merge(src *Registry) {
 			if fn != nil {
 				g.setFunc(fn)
 			} else {
+				// Most recent instance wins: drop any read-through from an
+				// earlier merge so the plain value is actually visible.
+				g.setFunc(nil)
 				g.Set(sc.Value())
 			}
 		case *Histogram:
@@ -398,6 +410,15 @@ func (r *Registry) Collectors() []Collector {
 type Observer struct {
 	Registry *Registry
 	Tracer   *Tracer
+
+	// reqCtx is the active request's trace context (see BeginRequest);
+	// spanIDs allocates span identities within this observer's stream.
+	reqCtx  atomic.Pointer[TraceContext]
+	spanIDs atomic.Uint64
+	// flight is the attached flight recorder, if any (SetFlightRecorder);
+	// subsystems that witness an incident (power-cut remount) dump
+	// through it without knowing who configured it.
+	flight atomic.Pointer[FlightRecorder]
 }
 
 // New returns an observer with a fresh registry and a tracer holding up to

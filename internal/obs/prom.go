@@ -1,0 +1,171 @@
+// Prometheus text exposition (version 0.0.4) rendered from a Registry,
+// for the ssmserve admin surface's /metrics endpoint. Counters render
+// as counters, gauges as gauges, and histograms as summaries (the
+// registry keeps exact samples per sim.Histogram, so quantiles are
+// real, not bucketed estimates).
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// summaryQuantiles are the quantile series a histogram exposes.
+var summaryQuantiles = []float64{0.5, 0.95, 0.99}
+
+// WritePrometheus renders every registered collector in the Prometheus
+// text exposition format, grouped by metric name with one # TYPE line
+// per group, in registration order of each name's first collector.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	if r == nil {
+		return bw.Flush()
+	}
+	cs := r.Collectors()
+	groups := make(map[string][]Collector, len(cs))
+	var names []string
+	for _, c := range cs {
+		if _, ok := groups[c.Name()]; !ok {
+			names = append(names, c.Name())
+		}
+		groups[c.Name()] = append(groups[c.Name()], c)
+	}
+	for _, name := range names {
+		group := groups[name]
+		kind := group[0].Kind()
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, promType(kind))
+		for _, c := range group {
+			if c.Kind() != kind {
+				// A name registered under two kinds cannot share a TYPE
+				// block; skip rather than emit malformed exposition. The
+				// registry's own collectors never do this (lookup panics on
+				// per-key kind conflicts), so this guards only exotic mixes.
+				continue
+			}
+			m := c.Collect()
+			switch kind {
+			case KindCounter, KindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, "", 0), promValue(m.Value))
+			case KindHistogram:
+				h, ok := c.(*Histogram)
+				if !ok {
+					continue
+				}
+				h.mu.Lock()
+				for _, q := range summaryQuantiles {
+					fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, "quantile", q), promValue(h.h.Quantile(q)))
+				}
+				h.mu.Unlock()
+				fmt.Fprintf(bw, "%s_sum%s %s\n", name, promLabels(m.Labels, "", 0), promValue(m.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", name, promLabels(m.Labels, "", 0), m.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func promType(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// promLabels renders a sorted label block, optionally with an extra
+// quantile label, or the empty string for no labels.
+func promLabels(l Labels, extra string, q float64) string {
+	if len(l) == 0 && extra == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(l[k]))
+	}
+	if extra != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", extra, strconv.FormatFloat(q, 'g', -1, 64))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition format's label-value escaping.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Exposition-format line shapes, per the text format spec: a metric line
+// is name, optional label block, and a float value (we never emit
+// timestamps); NaN/±Inf are legal values.
+var (
+	promMetricLine = regexp.MustCompile(
+		`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9].*)$`)
+	promCommentLine = regexp.MustCompile(`^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+)
+
+// CheckExposition validates Prometheus text exposition: every line must
+// be a well-formed comment or metric line, and every required series
+// name must appear with at least one sample. The smoke path runs this
+// against a live /metrics scrape so CI fails on malformed output or a
+// missing series, not just on a dead endpoint.
+func CheckExposition(data []byte, required []string) error {
+	seen := make(map[string]bool)
+	for i, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promCommentLine.MatchString(line) {
+				return fmt.Errorf("obs: exposition line %d: malformed comment %q", i+1, line)
+			}
+			continue
+		}
+		if !promMetricLine.MatchString(line) {
+			return fmt.Errorf("obs: exposition line %d: malformed metric line %q", i+1, line)
+		}
+		name := line
+		if j := strings.IndexAny(name, "{ "); j >= 0 {
+			name = name[:j]
+		}
+		value := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("obs: exposition line %d: bad value %q", i+1, value)
+		}
+		seen[name] = true
+		// A summary's name_sum/name_count also witness the base series.
+		seen[strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")] = true
+	}
+	for _, name := range required {
+		if !seen[name] {
+			return fmt.Errorf("obs: exposition missing required series %q", name)
+		}
+	}
+	return nil
+}

@@ -14,6 +14,14 @@ import (
 // attributed to a layer and an operation, with the bytes moved, the
 // energy drawn (inclusive of nested work, measured as the energy-meter
 // delta across the span) and the outcome ("ok" or "error").
+//
+// Spans recorded under an active request context (see TraceContext) also
+// carry causal identity: ID names the span, Parent links it to the
+// enclosing span of the same request, and FollowFrom links induced work —
+// a cleaner pass the request forced on its way through the FTL — back to
+// the request's root span. All three are zero for background spans
+// recorded outside any request, which keeps pre-context traces (and their
+// goldens) byte-identical.
 type Span struct {
 	Start   sim.Time   `json:"start_ns"`
 	End     sim.Time   `json:"end_ns"`
@@ -22,6 +30,24 @@ type Span struct {
 	Bytes   int64      `json:"bytes,omitempty"`
 	Energy  sim.Energy `json:"energy_pj,omitempty"`
 	Outcome string     `json:"outcome"`
+	// ID is the span's identity within its observer's request stream;
+	// 0 outside a request context.
+	ID uint64 `json:"id,omitempty"`
+	// Parent is the ID of the enclosing span within the same request;
+	// 0 for a request root (and for background spans).
+	Parent uint64 `json:"parent,omitempty"`
+	// FollowFrom is the root span the work was induced by: set on cleaner
+	// passes that a request triggered synchronously, so trace viewers can
+	// attribute the stall without conflating it with the call tree.
+	FollowFrom uint64 `json:"follow_from,omitempty"`
+	// Queue is the admission-queueing delay that preceded a request root
+	// span (arrival to service start); the span itself covers service
+	// only, so total latency is Queue + Duration().
+	Queue sim.Duration `json:"queue_ns,omitempty"`
+	// Stage is the span's effective latency-attribution stage (see the
+	// Stage constants and EffectiveStage), resolved at open time so trace
+	// consumers need no stage logic. Empty for background spans.
+	Stage string `json:"stage,omitempty"`
 }
 
 // Duration reports the span's virtual-time extent.
@@ -160,18 +186,57 @@ type SpanRef struct {
 	energy sim.Energy
 	layer  string
 	op     string
+	// Request-context identity, zero outside an active request.
+	ctx        *TraceContext
+	id, parent uint64
+	follow     uint64
+	stage      string
 }
 
 // Span opens a span against the caller's virtual clock. The meter may be
 // nil; with one, the span's Energy is the meter delta across the span
 // (inclusive of nested operations' draw). End (or EndOutcome) closes it.
+//
+// When a request context is installed on the observer (BeginRequest) the
+// span joins the request's tree: it gets an ID, a Parent link to the
+// enclosing open span, and an inherited latency stage. Outside a context
+// the span records exactly as before — background work stays anonymous.
 func (o *Observer) Span(clock *sim.Clock, meter *sim.EnergyMeter, layer, op string) SpanRef {
+	return o.openSpan(clock, meter, layer, op, "", false)
+}
+
+// StageSpan is Span with a declared latency-attribution stage: device
+// layers use it to say what kind of time they represent (dram is
+// StageBuffer, flash is StageFlash, buffer eviction is StageFlush). The
+// declaration only matters under a request context; see EffectiveStage
+// for how it combines with the enclosing span's stage.
+func (o *Observer) StageSpan(clock *sim.Clock, meter *sim.EnergyMeter, layer, op, stage string) SpanRef {
+	return o.openSpan(clock, meter, layer, op, stage, false)
+}
+
+// InducedSpan is StageSpan for work a request forced but did not call
+// for — the FTL's synchronous cleaner pass. Under a request context the
+// span carries a FollowFrom link back to the request's root span in
+// addition to its Parent link, so attribution tools can separate "the
+// request asked for this" from "the request's timing got charged this".
+func (o *Observer) InducedSpan(clock *sim.Clock, meter *sim.EnergyMeter, layer, op, stage string) SpanRef {
+	return o.openSpan(clock, meter, layer, op, stage, true)
+}
+
+func (o *Observer) openSpan(clock *sim.Clock, meter *sim.EnergyMeter, layer, op, stage string, induced bool) SpanRef {
 	if o == nil || o.Tracer == nil || clock == nil {
 		return SpanRef{}
 	}
 	sr := SpanRef{t: o.Tracer, clock: clock, meter: meter, start: clock.Now(), layer: layer, op: op}
 	if meter != nil {
 		sr.energy = meter.Total()
+	}
+	if tc := o.reqCtx.Load(); tc != nil {
+		sr.ctx = tc
+		sr.id, sr.parent, sr.stage = tc.open(sr.start, stage)
+		if induced {
+			sr.follow = tc.root
+		}
 	}
 	return sr
 }
@@ -190,14 +255,19 @@ func (s SpanRef) EndOutcome(bytes int64, outcome string) {
 	if s.t == nil {
 		return
 	}
+	end := s.clock.Now()
 	var e sim.Energy
 	if s.meter != nil {
 		e = s.meter.Total() - s.energy
 	}
+	if s.ctx != nil {
+		s.ctx.close(end)
+	}
 	s.t.Record(Span{
-		Start: s.start, End: s.clock.Now(),
+		Start: s.start, End: end,
 		Layer: s.layer, Op: s.op,
 		Bytes: bytes, Energy: e, Outcome: outcome,
+		ID: s.id, Parent: s.parent, FollowFrom: s.follow, Stage: s.stage,
 	})
 }
 

@@ -1,0 +1,152 @@
+// Live ops surface for the object-storage service: a second, plain-HTTP
+// listener exposing the process's metrics, health, profiles and flight
+// recorder. It is deliberately separate from the data-plane TCP port so
+// an operator can still scrape a wedged server, and so the data protocol
+// stays nc(1)-simple.
+//
+// Endpoints:
+//
+//	/metrics             Prometheus text exposition of the obs Registry
+//	/healthz             JSON {status, draining, shedding}; 503 while draining
+//	/debug/pprof/...     net/http/pprof profiles (real time, not virtual)
+//	/debug/flightrecord  trigger an on-demand flight-recorder dump
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"ssmobile/internal/obs"
+)
+
+// Admin is the ops-surface HTTP server.
+type Admin struct {
+	srv *Server
+	o   *obs.Observer
+
+	mu       sync.Mutex
+	ln       net.Listener
+	hs       *http.Server
+	draining bool
+}
+
+// NewAdmin builds the ops surface for srv, exposing o's registry and
+// flight recorder (attach one with o.SetFlightRecorder).
+func NewAdmin(srv *Server, o *obs.Observer) *Admin {
+	return &Admin{srv: srv, o: obs.Or(o)}
+}
+
+// SetDraining flips the health status reported by /healthz; the TCP
+// transport calls this when Shutdown begins so load balancers can stop
+// sending traffic before the data port closes.
+func (a *Admin) SetDraining(v bool) {
+	a.mu.Lock()
+	a.draining = v
+	a.mu.Unlock()
+}
+
+// Handler returns the admin mux; useful for tests that want the surface
+// without a real listener.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/debug/flightrecord", a.handleFlightRecord)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Listen binds addr (e.g. "127.0.0.1:9090") and serves in the
+// background. Use Addr for the bound address and Shutdown to stop.
+func (a *Admin) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.ln = ln
+	a.hs = &http.Server{Handler: a.Handler()}
+	hs := a.hs
+	a.mu.Unlock()
+	go hs.Serve(ln)
+	return nil
+}
+
+// Addr reports the bound listener address; nil before Listen.
+func (a *Admin) Addr() net.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ln == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+// Shutdown closes the admin listener. In-flight scrapes finish; it does
+// not wait for long-running pprof profiles.
+func (a *Admin) Shutdown() error {
+	a.mu.Lock()
+	hs := a.hs
+	a.hs = nil
+	a.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Close()
+}
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, a.o.Registry); err != nil {
+		// Headers are gone; all we can do is note it inline.
+		fmt.Fprintf(w, "# write error: %v\n", err)
+	}
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	draining := a.draining
+	a.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	shedding := a.srv != nil && a.srv.Shedding()
+	switch {
+	case draining:
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	case shedding:
+		// Shedding is the server protecting itself, not an outage: report
+		// degraded but stay 200 so orchestrators don't restart it.
+		status = "overloaded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"draining": draining,
+		"shedding": shedding,
+	})
+}
+
+func (a *Admin) handleFlightRecord(w http.ResponseWriter, r *http.Request) {
+	fr := a.o.FlightRecorder()
+	if fr == nil {
+		http.Error(w, "no flight recorder configured", http.StatusNotFound)
+		return
+	}
+	path, err := fr.Dump("on-demand")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"dumped": path})
+}

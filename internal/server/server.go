@@ -80,6 +80,12 @@ type Config struct {
 	SyncBatchWindow sim.Duration
 	// Obs receives the server's metrics; nil falls back to obs.Default().
 	Obs *obs.Observer
+	// OnShedEngage, if set, is called once per false→true transition of
+	// the admission controller's shedding state — the flight recorder's
+	// hook. It runs under the server's mutex with a request mid-flight,
+	// so it must not call back into the server; reading telemetry
+	// (registry, tracer) is safe.
+	OnShedEngage func()
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +185,14 @@ type Server struct {
 	batched   *obs.Counter
 	shedGauge *obs.Gauge
 	lat       map[OpKind]*obs.Histogram
+	// obs is the resolved observer request trace contexts install on;
+	// breakdown holds one latency-attribution histogram per stage, fed
+	// from each completed request's trace context (zeros included, so a
+	// stage's quantiles are over ALL requests, not just the stalled
+	// ones). shedEngages counts admission false→true transitions.
+	obs         *obs.Observer
+	breakdown   map[string]*obs.Histogram
+	shedEngages *obs.Counter
 }
 
 // New builds a server over the backend.
@@ -201,7 +215,22 @@ func New(b Backend, cfg Config) (*Server, error) {
 		s.lat[k] = o.Histogram("request_latency_ns", obs.Labels{"layer": "server", "op": k.String()})
 	}
 	s.shedGauge = o.Gauge("shedding", obs.Labels{"layer": "server"})
+	s.obs = o
+	s.shedEngages = o.Counter("shed_engage_total", obs.Labels{"layer": "server"})
+	s.breakdown = make(map[string]*obs.Histogram, len(obs.BreakdownStages))
+	for _, stage := range obs.BreakdownStages {
+		s.breakdown[stage] = o.Histogram("serve_latency_breakdown", obs.Labels{"layer": "server", "stage": stage})
+	}
 	return s, nil
+}
+
+// BreakdownSim exposes the per-instance latency-attribution histogram
+// for one stage (see obs.BreakdownStages) for read access after a
+// single-threaded run — E12b's table reads these directly. Samples only
+// accumulate when the observer traces requests (it has a Tracer); an
+// untraced server leaves them empty.
+func (s *Server) BreakdownSim(stage string) *sim.Histogram {
+	return s.breakdown[stage].Sim()
 }
 
 // Session scopes requests to one tenant's directory.
@@ -264,15 +293,28 @@ func (sess *Session) Do(req Request) (Response, error) {
 	// space. Under light load cleaning is free; once arrivals outpace
 	// service there are no gaps, the cleaner falls behind, its lag grows,
 	// and admission control engages — the saturation knee.
+	//
+	// Trace attribution follows the same causal line. A request served
+	// out of an idle gap did not wait for the maintenance, so the Tick
+	// stays anonymous background work. A backlogged request did: the
+	// daemon pass at the head of its service is time it must wait out,
+	// so its trace context opens first and the flush migrations — and
+	// any cleans they induce — join the request's causal tree instead
+	// of disappearing into the queue component. Tracing never advances
+	// the clock; with an untraced observer tc is nil and all of this is
+	// free, so results are identical either way.
 	now := s.b.Clock.Now()
 	idle := req.Arrival > now
+	var tc *obs.TraceContext
 	var err error
 	if idle {
 		err = s.b.Storage.Tick()
 	} else {
+		tc = s.obs.BeginRequest(s.b.Clock, "server", req.Kind.String(), queueDelay(now, req.Arrival))
 		err = s.b.Storage.TickDaemon()
 	}
 	if err != nil {
+		s.observeBreakdown(tc, tc.Finish(0, err))
 		return Response{}, err
 	}
 	now = s.b.Clock.Now()
@@ -285,24 +327,61 @@ func (sess *Session) Do(req Request) (Response, error) {
 
 	s.updateAdmission()
 	if s.shedding && (req.Kind == OpPut || req.Kind == OpTruncate) {
+		// The daemon pass the shed request just waited out is real
+		// request-path stall — it stays in the breakdown record even
+		// though no service follows.
+		s.observeBreakdown(tc, tc.FinishOutcome(0, "shed"))
 		s.st.Shed++
 		s.shed.Inc()
 		return Response{}, ErrOverloaded
 	}
 
+	if tc == nil {
+		// Idle-gap request: the context opens after the gap, charging
+		// only cleaner overrun (Tick running past the arrival) to queue.
+		tc = s.obs.BeginRequest(s.b.Clock, "server", req.Kind.String(), queueDelay(s.b.Clock.Now(), arrival))
+	}
+
 	resp, err := s.dispatch(sess, req)
 	if err != nil {
+		s.observeBreakdown(tc, tc.Finish(0, err))
 		if errors.Is(err, ErrNotFound) {
 			s.st.NotFound++
 			s.notFound.Inc()
 		}
 		return Response{}, err
 	}
+	bd := tc.Finish(int64(resp.N), nil)
 	resp.Latency = s.b.Clock.Now().Sub(arrival)
 	s.st.Completed++
 	s.completed.Inc()
 	s.lat[req.Kind].ObserveDuration(resp.Latency)
+	s.observeBreakdown(tc, bd)
 	return resp, nil
+}
+
+// observeBreakdown folds one finished request's per-stage attribution
+// into the serve_latency_breakdown histograms. Every request that opened
+// a context counts — completed, failed, or shed — because the breakdown
+// measures where request-path virtual time went, not just where
+// successful service went.
+func (s *Server) observeBreakdown(tc *obs.TraceContext, bd obs.Breakdown) {
+	if tc == nil {
+		return
+	}
+	for _, stage := range obs.BreakdownStages {
+		s.breakdown[stage].ObserveDuration(bd.Stage(stage))
+	}
+}
+
+// queueDelay is the backlog a request inherited: service starting at
+// now against an arrival timestamp (0 means "arrives now", i.e. no
+// queueing — the closed-loop transports pass that).
+func queueDelay(now sim.Time, arrival sim.Time) sim.Duration {
+	if arrival == 0 || arrival > now {
+		return 0
+	}
+	return now.Sub(arrival)
 }
 
 // updateAdmission moves the hysteresis state machine: shed when the
@@ -314,6 +393,10 @@ func (s *Server) updateAdmission() {
 	if !s.shedding {
 		if occ >= s.cfg.HighWatermark && lag > 0 {
 			s.shedding = true
+			s.shedEngages.Inc()
+			if s.cfg.OnShedEngage != nil {
+				s.cfg.OnShedEngage()
+			}
 		}
 	} else if occ <= s.cfg.LowWatermark || lag == 0 {
 		s.shedding = false
@@ -457,6 +540,14 @@ func (s *Server) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// Shedding reports whether admission control is currently shedding
+// writes — the /healthz overload signal.
+func (s *Server) Shedding() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shedding
 }
 
 // Stats returns a snapshot of the request accounting.

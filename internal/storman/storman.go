@@ -282,7 +282,9 @@ func (m *Manager) span(op string) obs.SpanRef {
 }
 
 func (m *Manager) migrateToFlash(loc *blockLoc) (err error) {
-	sp := m.span("migrate")
+	// Migration is the write-buffer eviction stall (obs.StageFlush):
+	// the residue after the nested device spans claim their own stages.
+	sp := m.obs.StageSpan(m.clock, m.dram.Meter(), "storman", "migrate", obs.StageFlush)
 	defer func() { sp.End(int64(loc.size), err) }()
 	buf := make([]byte, m.cfg.BlockBytes)
 	if _, err := m.dram.Read(m.pageAddr(loc.dramPage), buf[:loc.size]); err != nil {

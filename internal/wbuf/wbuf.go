@@ -297,7 +297,7 @@ func (b *Buffer) drop(e *entry) {
 
 // flush writes the entry to the sink and removes it.
 func (b *Buffer) flush(e *entry) (err error) {
-	sp := b.obs.Span(b.clock, nil, "wbuf", "flush")
+	sp := b.obs.StageSpan(b.clock, nil, "wbuf", "flush", obs.StageFlush)
 	defer func() { sp.End(int64(len(e.data)), err) }()
 	b.flushedBytes.Add(int64(len(e.data)))
 	if err := b.sink.FlushBlock(e.key, e.data); err != nil {
