@@ -32,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +44,7 @@ import (
 	"syscall"
 
 	"ssmobile/internal/core"
+	"ssmobile/internal/flash"
 	"ssmobile/internal/obs"
 	"ssmobile/internal/prof"
 	"ssmobile/internal/server"
@@ -277,6 +279,9 @@ func smoke(tcp *server.TCP, admin *server.Admin, sc smokeConfig) error {
 	if err := scrapeMetrics(admin.Addr().String()); err != nil {
 		return fmt.Errorf("smoke /metrics: %w", err)
 	}
+	if err := scrapeHealth(admin.Addr().String()); err != nil {
+		return fmt.Errorf("smoke /debug/health: %w", err)
+	}
 	admin.SetDraining(true)
 	if err := tcp.Shutdown(); err != nil {
 		return err
@@ -326,11 +331,43 @@ func scrapeMetrics(adminAddr string) error {
 		"serve_latency_breakdown",
 		"free_blocks",
 		"buffer_occupancy",
+		// Wear-attribution surface: cause-labelled flash accounting,
+		// write amplification, the per-bank wear distribution and the
+		// windowed burn rates the health report divides into the budget.
+		"flash_bytes_programmed_total",
+		"erases_total",
+		"write_amplification",
+		"wear_erase_count",
+		"wear_blocks_le",
+		"erase_rate_per_s",
 	}
 	if err := obs.CheckExposition(body, required); err != nil {
 		return err
 	}
 	fmt.Printf("ssmserve: /metrics ok, %d bytes, required series present\n", len(body))
+	return nil
+}
+
+// scrapeHealth fetches the SMART-style /debug/health report and sanity
+// checks the document an operator (or ssmtrace health) would read.
+func scrapeHealth(adminAddr string) error {
+	resp, err := http.Get("http://" + adminAddr + "/debug/health")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	var rep flash.HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return err
+	}
+	if rep.Device != "flash" || rep.Blocks <= 0 || rep.EnduranceCycles <= 0 {
+		return fmt.Errorf("implausible health report: %+v", rep)
+	}
+	fmt.Printf("ssmserve: /debug/health ok, life used %.4f%%, lifetime %s\n",
+		rep.LifeUsedPct, rep.Lifetime)
 	return nil
 }
 

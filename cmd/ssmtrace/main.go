@@ -6,6 +6,8 @@
 //	ssmtrace gen [-kind baker|pim|blocks] [-minutes M] [-seed N] [-o FILE]
 //	ssmtrace stats [-metrics FILE] [FILE]
 //	ssmtrace attribute [-top N] [-metrics FILE] [FILE]
+//	ssmtrace wear [-device NAME] [FILE]
+//	ssmtrace health [-device NAME] [-json] [FILE]
 //
 // All subcommands accept -cpuprofile/-memprofile for pprof profiles.
 // Generated traces use the text format of internal/trace: one operation
@@ -16,6 +18,14 @@
 // ssmserve — reconstructs each request's span tree, and prints the
 // per-stage latency-attribution table (queue, buffer, flush, flash,
 // clean, other) plus the -top slowest requests with their breakdowns.
+//
+// wear and health read a metrics snapshot — the JSON a -metrics flag
+// dumps anywhere in the tools, or a /metrics-equivalent snapshot — and
+// render the flash device's erase-count heatmap (per bank, bucketed) or
+// its SMART-style health report: endurance budget, wear spread, windowed
+// burn rate and the remaining lifetime at that rate. The health numbers
+// are the same pure function of the snapshot the server's /debug/health
+// serves live, so the two can never disagree.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"os"
 	"sort"
 
+	"ssmobile/internal/flash"
 	"ssmobile/internal/obs"
 	"ssmobile/internal/prof"
 	"ssmobile/internal/sim"
@@ -44,6 +55,10 @@ func main() {
 		run = stats
 	case "attribute":
 		run = attribute
+	case "wear":
+		run = wear
+	case "health":
+		run = health
 	default:
 		usage()
 	}
@@ -81,7 +96,81 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ssmtrace gen [-kind baker|pim|blocks] [-minutes M] [-seed N] [-o FILE]")
 	fmt.Fprintln(os.Stderr, "       ssmtrace stats [-metrics FILE] [FILE]")
 	fmt.Fprintln(os.Stderr, "       ssmtrace attribute [-top N] [-metrics FILE] [FILE]")
+	fmt.Fprintln(os.Stderr, "       ssmtrace wear [-device NAME] [FILE]")
+	fmt.Fprintln(os.Stderr, "       ssmtrace health [-device NAME] [-json] [FILE]")
 	os.Exit(2)
+}
+
+// readSnapshot loads the metrics snapshot from the first positional
+// argument, or stdin when none is given.
+func readSnapshot(fs *flag.FlagSet) (obs.Snapshot, error) {
+	var r io.Reader = os.Stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return obs.Snapshot{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return obs.ReadSnapshot(r)
+}
+
+// wear renders the per-bank erase-count heatmap from a metrics snapshot.
+func wear(args []string, pf *profFlags) error {
+	fs := flag.NewFlagSet("wear", flag.ExitOnError)
+	device := fs.String("device", "flash", "flash device (the MeterCategory label)")
+	pf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	stopCPU, err := prof.StartCPU(pf.cpu)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
+	snap, err := readSnapshot(fs)
+	if err != nil {
+		return err
+	}
+	return flash.RenderWearHeatmap(os.Stdout, snap, *device)
+}
+
+// health prints the SMART-style device-health report from a metrics
+// snapshot; -json emits the same JSON document /debug/health serves.
+func health(args []string, pf *profFlags) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	device := fs.String("device", "flash", "flash device (the MeterCategory label)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON (the /debug/health document)")
+	pf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	stopCPU, err := prof.StartCPU(pf.cpu)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
+	snap, err := readSnapshot(fs)
+	if err != nil {
+		return err
+	}
+	rep, err := flash.HealthFromSnapshot(snap, *device)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	rep.Fprint(os.Stdout)
+	return nil
 }
 
 func gen(args []string, pf *profFlags) error {

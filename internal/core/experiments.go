@@ -69,6 +69,7 @@ func Registry(seed int64) map[string]Runner {
 		"e11":  one(E11PowerCuts),
 		"e12":  one(func(env *Env) (*Table, error) { return E12Saturation(env, seed) }),
 		"e12b": one(func(env *Env) (*Table, error) { return E12bAttribution(env, seed) }),
+		"e13":  one(func(env *Env) (*Table, error) { return E13WearAging(env, seed) }),
 	}
 }
 
@@ -89,6 +90,7 @@ func Descriptions() map[string]string {
 		"e11":  "recovery under power cuts (§3.1, §4): crash-point enumeration at every device op, with torn programs and interrupted erases",
 		"e12":  "serving-stack saturation (§3.3, §4): open-loop clients vs cleaning bandwidth through the object-storage service, with latency percentiles and load shedding",
 		"e12b": "latency attribution at the knee (§3.3): request-scoped causal tracing decomposes the p99 into queue/buffer/flush/flash/clean stages and names the dominant stall",
+		"e13":  "wear attribution over a lifetime (§3.3): years of bursty traffic age one card; write amplification decomposed by cause, wear spread, and the SMART-style health report's burn-rate lifetime",
 	}
 }
 

@@ -328,6 +328,11 @@ func (s *SolidStateSystem) RemountAfterPowerFailure() (*SolidStateSystem, error)
 	if fr := obs.Or(s.cfg.Obs).FlightRecorder(); fr != nil {
 		fr.Dump("power-cut-remount")
 	}
+	// Everything destructive from here to the rebuilt stack — re-erasing
+	// torn blocks during the OOB scan, recovery checkpoints — is charged
+	// to the mount-recovery cause (ftl.Mount pushes the same cause for its
+	// own scan, which nests harmlessly inside this scope).
+	defer obs.Or(s.cfg.Obs).PushCause(obs.CauseMountRecovery)()
 	s.DRAM.Restore()
 	if s.Flash.Lost() {
 		// The cut may have hit the flash device mid-operation (fault

@@ -128,6 +128,14 @@ type Device struct {
 	bytesRead, bytesProg    *obs.Counter
 	readStallNs             *obs.Counter
 	lastIdleCharge          sim.Time
+
+	// Wear attribution (see wear.go): every program and erase is also
+	// charged to the observer's active obs.Cause, and bounded ring
+	// samplers turn the cumulative totals into windowed burn rates.
+	causeProg  map[obs.Cause]*obs.Counter
+	causeErase map[obs.Cause]*obs.Counter
+	eraseRate  *obs.RateSampler
+	progRate   *obs.RateSampler
 }
 
 // New builds a device with every block in the erased (all 0xFF) state.
@@ -168,6 +176,7 @@ func New(cfg Config, clock *sim.Clock, meter *sim.EnergyMeter) (*Device, error) 
 			d.spare[i] = 0xFF
 		}
 	}
+	d.initWear(o)
 	return d, nil
 }
 
@@ -380,6 +389,7 @@ func (d *Device) ProgramSpare(unit int64, p []byte) (lat sim.Duration, err error
 	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
 	d.programs.Inc()
 	d.bytesProg.Add(int64(len(p)))
+	d.chargeProgram(int64(len(p)))
 	return stall + dur, nil
 }
 
@@ -424,6 +434,7 @@ func (d *Device) program(addr int64, p []byte) (sim.Duration, error) {
 	copy(d.data[addr:], p)
 	d.programs.Inc()
 	d.bytesProg.Add(int64(len(p)))
+	d.chargeProgram(int64(len(p)))
 	dur := sim.Duration(d.cfg.Params.WriteLatencyNs(len(p)))
 	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
 	return dur, nil
@@ -513,6 +524,7 @@ func (d *Device) erase(block int) (sim.Duration, error) {
 	d.noteEraseCycle(block)
 	d.applyErase(block)
 	d.erases.Inc()
+	d.chargeErase()
 	dur := sim.Duration(d.cfg.Params.EraseLatencyNs)
 	d.meter.Charge(d.cfg.MeterCategory, sim.EnergyFor(d.activePower(), dur))
 	return dur, nil

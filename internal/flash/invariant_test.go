@@ -1,0 +1,155 @@
+package flash
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ssmobile/internal/device"
+)
+
+// The destructive-op ledger invariant: DestructiveOps counts issued
+// programs, spare programs and erases, and every issued op either
+// completes (reaching the Stats counters) or is consumed by a power cut.
+// Crash-point enumeration (internal/crashtest) depends on this ledger to
+// sweep cut indexes, so it gets its own regression here: under any valid
+// op sequence, issued == completed + cut.
+
+func invariantConfig() Config {
+	return Config{
+		Banks:          2,
+		BlocksPerBank:  8,
+		BlockBytes:     4096,
+		Params:         device.IntelFlash,
+		SpareUnitBytes: 1024,
+		SpareBytes:     16,
+	}
+}
+
+// randomOps drives nOps random valid destructive operations against d,
+// tracking programmability per block so no op fails validation (failed
+// validations consume no op index, so they would not perturb the ledger
+// anyway — the point is to exercise the counting paths, not the errors).
+// It returns early if the device dies from an injected cut.
+func randomOps(t *testing.T, d *Device, rng *rand.Rand, nOps int) (cut bool) {
+	t.Helper()
+	cfg := invariantConfig()
+	unitsPerBlock := cfg.BlockBytes / cfg.SpareUnitBytes
+	writeOff := make([]int, d.NumBlocks())     // next free data offset per block
+	spareUsed := make([][]bool, d.NumBlocks()) // spare unit programmed?
+	for i := range spareUsed {
+		spareUsed[i] = make([]bool, unitsPerBlock)
+	}
+	payload := []byte("wear-ledger-probe")
+	for i := 0; i < nOps; i++ {
+		var err error
+		switch op := rng.Intn(4); {
+		case op <= 1: // data program into a block with room
+			b := rng.Intn(d.NumBlocks())
+			for writeOff[b]+len(payload) > cfg.BlockBytes {
+				b = (b + 1) % d.NumBlocks()
+			}
+			addr := d.BlockAddr(b) + int64(writeOff[b])
+			_, err = d.Program(addr, payload)
+			if err == nil {
+				writeOff[b] += len(payload)
+			}
+		case op == 2: // spare program into a fresh unit
+			b := rng.Intn(d.NumBlocks())
+			unit := -1
+			for u, used := range spareUsed[b] {
+				if !used {
+					unit = b*unitsPerBlock + u
+					spareUsed[b][u] = true
+					break
+				}
+			}
+			if unit < 0 { // block's spare full: erase it instead
+				_, err = d.Erase(b)
+				if err == nil {
+					writeOff[b] = 0
+					spareUsed[b] = make([]bool, unitsPerBlock)
+				}
+				break
+			}
+			_, err = d.ProgramSpare(int64(unit), []byte{0x42, 0x00})
+		default: // erase
+			b := rng.Intn(d.NumBlocks())
+			_, err = d.Erase(b)
+			if err == nil {
+				writeOff[b] = 0
+				spareUsed[b] = make([]bool, unitsPerBlock)
+			}
+		}
+		if errors.Is(err, ErrPowerCut) {
+			return true
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	return false
+}
+
+func checkLedger(t *testing.T, d *Device, cuts int64) {
+	t.Helper()
+	st := d.Stats()
+	completed := st.Programs + st.Erases // Programs includes spare programs
+	if got := d.DestructiveOps(); got != completed+cuts {
+		t.Fatalf("DestructiveOps = %d, want completed %d + cuts %d = %d",
+			got, completed, cuts, completed+cuts)
+	}
+}
+
+// TestDestructiveOpsEqualsCompletedOps: with no injector, every issued
+// op completes, so the ledger equals programs + spare programs + erases
+// at every step of a randomized workload.
+func TestDestructiveOpsEqualsCompletedOps(t *testing.T) {
+	for _, seed := range []int64{1993, 1, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		d, _, _ := newTestDevice(t, invariantConfig())
+		for round := 0; round < 20; round++ {
+			if randomOps(t, d, rng, 25) {
+				t.Fatal("cut without an injector")
+			}
+			checkLedger(t, d, 0)
+		}
+	}
+}
+
+// TestDestructiveOpsCountsCutOps: a cut op consumes an op index without
+// reaching the completion counters, so after k cuts the ledger runs
+// exactly k ahead of programs + erases — including across Restore and
+// further traffic.
+func TestDestructiveOpsCountsCutOps(t *testing.T) {
+	for _, fate := range []Outcome{CutBefore, CutDuring, CutAfter} {
+		for _, seed := range []int64{1993, 1, 42} {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := invariantConfig()
+			inj := &CutAt{Index: 10 + rng.Int63n(30), Fate: fate}
+			cfg.Injector = inj
+			d, _, _ := newTestDevice(t, cfg)
+			if !randomOps(t, d, rng, 200) {
+				t.Fatalf("fate %v seed %d: injector at %d never fired", fate, seed, inj.Index)
+			}
+			checkLedger(t, d, 1)
+
+			// Power back on: the interrupted op stays on the ledger, new
+			// traffic keeps the invariant with the +1 offset. Erase every
+			// block first — a torn program or trembling erase leaves
+			// residue that legitimate new programs must not land on.
+			d.Restore()
+			d.SetInjector(nil)
+			for b := 0; b < d.NumBlocks(); b++ {
+				if _, err := d.Erase(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkLedger(t, d, 1)
+			if randomOps(t, d, rng, 100) {
+				t.Fatal("cut after injector disarmed")
+			}
+			checkLedger(t, d, 1)
+		}
+	}
+}

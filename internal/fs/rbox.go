@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 
 	"ssmobile/internal/dram"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/storman"
 )
@@ -350,6 +351,9 @@ func RecoverAfterCrash(cfg Config, clock *sim.Clock, sm *storman.Manager, dramDe
 // reserved metadata object. Combined with the data the write-back policy
 // has migrated, this bounds what a power failure can destroy.
 func (f *FS) Checkpoint() error {
+	// The checkpoint stream is filesystem metadata: charge its flash
+	// programs to the metadata cause, overriding any enclosing sync scope.
+	defer f.obs.PushCause(obs.CauseMetadata)()
 	data, err := encodeState(f.snapshotState())
 	if err != nil {
 		return err

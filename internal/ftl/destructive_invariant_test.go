@@ -1,0 +1,87 @@
+package ftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ssmobile/internal/flash"
+)
+
+// The device's destructive-op ledger through the full translation layer:
+// DestructiveOps counts issued programs, spare programs and erases, so
+// issued == completed + cut must hold not just for raw device traffic
+// (internal/flash's invariant test) but through FTL writes, cleaning,
+// power cuts and the Mount recovery scan that follows them. Crash-point
+// enumeration replays workloads by cut index against this ledger.
+
+func ledgerOK(t *testing.T, dev *flash.Device, cuts int64) {
+	t.Helper()
+	st := dev.Stats()
+	completed := st.Programs + st.Erases // Programs includes spare programs
+	if got := dev.DestructiveOps(); got != completed+cuts {
+		t.Fatalf("DestructiveOps = %d, want completed %d + cuts %d = %d",
+			got, completed, cuts, completed+cuts)
+	}
+}
+
+// TestDestructiveOpsLedgerAcrossRemount cuts power mid-workload at
+// several indexes and fates, remounts by the honest recovery path, keeps
+// writing, and checks the ledger at every stage: exactly the cut op is
+// issued-but-not-completed, before and after recovery.
+func TestDestructiveOpsLedgerAcrossRemount(t *testing.T) {
+	for _, fate := range []flash.Outcome{flash.CutBefore, flash.CutDuring, flash.CutAfter} {
+		for _, seed := range []int64{1993, 1, 42} {
+			rng := rand.New(rand.NewSource(seed))
+			inj := &flash.CutAt{Index: 20 + rng.Int63n(100), Fate: fate}
+			dev, clock := oobFlashInjected(t, inj)
+			f, err := New(dev, clock, oobConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Random overwrite traffic over a small logical range drives
+			// data programs, OOB spare programs and cleaner erases until
+			// the injected cut fires.
+			lpns := f.LogicalPages() / 4
+			cut := false
+			for i := 0; i < 2000 && !cut; i++ {
+				err := f.WritePage(rng.Int63n(lpns), page(byte(i), 1024))
+				switch {
+				case errors.Is(err, flash.ErrPowerCut):
+					cut = true
+				case err != nil:
+					t.Fatalf("fate %v seed %d write %d: %v", fate, seed, i, err)
+				}
+			}
+			if !cut {
+				t.Fatalf("fate %v seed %d: injector at %d never fired", fate, seed, inj.Index)
+			}
+			ledgerOK(t, dev, 1)
+
+			// Recover the honest way: power restored, injector disarmed,
+			// mapping rebuilt from the out-of-band records. Mount itself
+			// issues destructive ops (re-erasing torn residue); they are
+			// completed ops and must keep the ledger exact.
+			dev.Restore()
+			dev.SetInjector(nil)
+			m, err := Mount(dev, clock, oobConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			ledgerOK(t, dev, 1)
+
+			// Life goes on after recovery; the one cut op stays the only
+			// issued-but-never-completed entry on the ledger.
+			for i := 0; i < 200; i++ {
+				if err := m.WritePage(rng.Int63n(lpns), page(byte(i), 1024)); err != nil {
+					t.Fatalf("post-recovery write %d: %v", i, err)
+				}
+			}
+			ledgerOK(t, dev, 1)
+		}
+	}
+}

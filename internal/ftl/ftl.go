@@ -231,6 +231,26 @@ func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 	// load, so backpressure and dashboards share one definition of
 	// "cleaner behind".
 	o.GaugeFunc("cleaner_lag_blocks", obs.Labels{"layer": "ftl"}, func() float64 { return float64(f.CleanerLag()) })
+	// Write amplification: flash bytes programmed per host byte written,
+	// overall and decomposed by wear-attribution cause (the device charges
+	// every program to the observer's active obs.Cause). The per-cause
+	// series sum to the overall gauge by construction.
+	waOver := func(flashBytes func() int64) func() float64 {
+		return func() float64 {
+			hb := f.hostBytes.Value()
+			if hb == 0 {
+				return 0
+			}
+			return float64(flashBytes()) / float64(hb)
+		}
+	}
+	o.GaugeFunc("write_amplification", obs.Labels{"layer": "ftl"},
+		waOver(func() int64 { return f.dev.Stats().BytesProgrammed }))
+	for _, c := range obs.Causes {
+		c := c
+		o.GaugeFunc("write_amplification", obs.Labels{"layer": "ftl", "cause": string(c)},
+			waOver(func() int64 { return f.dev.CauseBytesProgrammed(c) }))
+	}
 	for i := range f.mapping {
 		f.mapping[i] = -1
 		f.reverse[i] = -1
@@ -591,6 +611,7 @@ func (f *FTL) CleanIdle() error {
 	if f.cfg.IdleCleanThreshold <= 0 {
 		return nil
 	}
+	defer f.obs.PushCause(obs.CauseIdleClean)()
 	for f.freeCount < f.cfg.IdleCleanThreshold {
 		victim := f.pickVictim()
 		if victim == -1 {
@@ -640,6 +661,12 @@ func (f *FTL) cleanOne(victim int) (err error) {
 	// and stay anonymous background spans.
 	sp := f.obs.InducedSpan(f.clock, f.dev.Meter(), "ftl", "clean", obs.StageClean)
 	defer func() { sp.End(int64(f.pagesPerBlock)*int64(f.cfg.PageBytes), err) }()
+	// Charge the relocation programs and the victim erase to the cleaner —
+	// unless an idle-clean scope is already active: idle cleaning is sticky
+	// over the shared clean path, so the idle/foreground split survives.
+	if f.obs.Cause() != obs.CauseIdleClean {
+		defer f.obs.PushCause(obs.CauseCleanerMigrate)()
+	}
 	f.cleans.Inc()
 	base := int64(victim) * int64(f.pagesPerBlock)
 	buf := make([]byte, f.cfg.PageBytes)

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 
 	"ssmobile/internal/flash"
+	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
 
@@ -129,6 +130,9 @@ func Mount(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Any destructive work the scan performs (re-erasing blocks left dirty
+	// by a torn program or interrupted erase) is recovery, not cleaning.
+	defer f.obs.PushCause(obs.CauseMountRecovery)()
 
 	type claim struct {
 		ppn int64

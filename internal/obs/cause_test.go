@@ -1,0 +1,60 @@
+package obs
+
+import "testing"
+
+func TestCauseDefaultsToHostWrite(t *testing.T) {
+	var nilObs *Observer
+	if got := nilObs.Cause(); got != CauseHostWrite {
+		t.Fatalf("nil observer Cause = %q, want host-write", got)
+	}
+	o := New(0)
+	if got := o.Cause(); got != CauseHostWrite {
+		t.Fatalf("fresh observer Cause = %q, want host-write", got)
+	}
+}
+
+func TestPushCauseNestsAndRestores(t *testing.T) {
+	o := New(0)
+	restoreSync := o.PushCause(CauseGroupCommitFlush)
+	if got := o.Cause(); got != CauseGroupCommitFlush {
+		t.Fatalf("after push, Cause = %q", got)
+	}
+	// Innermost wins while nested...
+	restoreMeta := o.PushCause(CauseMetadata)
+	if got := o.Cause(); got != CauseMetadata {
+		t.Fatalf("nested Cause = %q, want metadata", got)
+	}
+	// ...and each restore reinstates exactly the enclosing scope.
+	restoreMeta()
+	if got := o.Cause(); got != CauseGroupCommitFlush {
+		t.Fatalf("after inner restore, Cause = %q, want group-commit-flush", got)
+	}
+	restoreSync()
+	if got := o.Cause(); got != CauseHostWrite {
+		t.Fatalf("after outer restore, Cause = %q, want host-write", got)
+	}
+}
+
+func TestPushCauseNilObserver(t *testing.T) {
+	var o *Observer
+	restore := o.PushCause(CauseCleanerMigrate) // must not panic
+	restore()
+	if got := o.Cause(); got != CauseHostWrite {
+		t.Fatalf("nil observer Cause after push/restore = %q", got)
+	}
+}
+
+func TestCausesCanonicalOrder(t *testing.T) {
+	want := []Cause{
+		CauseHostWrite, CauseGroupCommitFlush, CauseCleanerMigrate,
+		CauseIdleClean, CauseMountRecovery, CauseMetadata,
+	}
+	if len(Causes) != len(want) {
+		t.Fatalf("Causes has %d entries, want %d", len(Causes), len(want))
+	}
+	for i, c := range want {
+		if Causes[i] != c {
+			t.Fatalf("Causes[%d] = %q, want %q", i, Causes[i], c)
+		}
+	}
+}

@@ -415,6 +415,9 @@ type Observer struct {
 	// spanIDs allocates span identities within this observer's stream.
 	reqCtx  atomic.Pointer[TraceContext]
 	spanIDs atomic.Uint64
+	// cause is the active wear-attribution cause (see PushCause); the
+	// flash layer charges every program and erase against it.
+	cause atomic.Pointer[Cause]
 	// flight is the attached flight recorder, if any (SetFlightRecorder);
 	// subsystems that witness an incident (power-cut remount) dump
 	// through it without knowing who configured it.

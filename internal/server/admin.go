@@ -7,7 +7,13 @@
 // Endpoints:
 //
 //	/metrics             Prometheus text exposition of the obs Registry
-//	/healthz             JSON {status, draining, shedding}; 503 while draining
+//	/healthz             JSON {status, state, draining, shedding}; the
+//	                     admission-control state is serving, shedding or
+//	                     draining, and draining degrades to HTTP 503
+//	/debug/health        SMART-style device-health report (flash.HealthReport
+//	                     JSON): endurance budget, wear spread, windowed burn
+//	                     rate and the lifetime left at it; ?device= selects a
+//	                     card other than the default "flash"
 //	/debug/pprof/...     net/http/pprof profiles (real time, not virtual)
 //	/debug/flightrecord  trigger an on-demand flight-recorder dump
 package server
@@ -20,6 +26,7 @@ import (
 	"net/http/pprof"
 	"sync"
 
+	"ssmobile/internal/flash"
 	"ssmobile/internal/obs"
 )
 
@@ -55,6 +62,7 @@ func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/debug/health", a.handleHealth)
 	mux.HandleFunc("/debug/flightrecord", a.handleFlightRecord)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -115,25 +123,59 @@ func (a *Admin) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	draining := a.draining
 	a.mu.Unlock()
+	// The transport flips the admin flag on shutdown; a direct Drain on
+	// the server (no transport involved) must read the same way.
+	draining = draining || (a.srv != nil && a.srv.Draining())
 	status := "ok"
+	state := "serving"
 	code := http.StatusOK
 	shedding := a.srv != nil && a.srv.Shedding()
 	switch {
 	case draining:
 		status = "draining"
+		state = "draining"
 		code = http.StatusServiceUnavailable
 	case shedding:
 		// Shedding is the server protecting itself, not an outage: report
 		// degraded but stay 200 so orchestrators don't restart it.
 		status = "overloaded"
+		state = "shedding"
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":   status,
+		"state":    state,
 		"draining": draining,
 		"shedding": shedding,
 	})
+}
+
+// handleHealth serves the SMART-style device-health report: the health
+// computation is a pure function of a metrics snapshot (see
+// flash.HealthFromSnapshot), so this endpoint and an offline
+// `ssmtrace health` over a -metrics dump can never disagree.
+func (a *Admin) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if a.o == nil || a.o.Registry == nil {
+		http.Error(w, "no metrics registry configured", http.StatusNotFound)
+		return
+	}
+	device := r.URL.Query().Get("device")
+	if device == "" {
+		device = "flash"
+	}
+	rep, err := flash.HealthFromSnapshot(a.o.Registry.Snapshot(), device)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(data, '\n'))
 }
 
 func (a *Admin) handleFlightRecord(w http.ResponseWriter, r *http.Request) {

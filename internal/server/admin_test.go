@@ -1,0 +1,132 @@
+package server_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"ssmobile/internal/core"
+	"ssmobile/internal/obs"
+	"ssmobile/internal/server"
+	"ssmobile/internal/sim"
+)
+
+func getHealthz(t *testing.T, admin *server.Admin) (code int, body map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	admin.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz body %q: %v", rec.Body.String(), err)
+	}
+	return rec.Code, body
+}
+
+// ageCard fills most of the flash with a file and deletes it, so the
+// cleaner starts behind and admission control has something to shed
+// about.
+func ageCard(t *testing.T, sys *core.SolidStateSystem) {
+	t.Helper()
+	if err := sys.FS.Create("/age"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for off := int64(0); off < 7<<20; off += int64(len(buf)) {
+		if _, err := sys.FS.WriteAt("/age", off, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Storage.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.FS.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FS.Remove("/age"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealthzAdmissionStates walks /healthz through the three
+// admission-control states: serving (200), shedding (200 but
+// "overloaded" — self-protection, not an outage), and draining (503, so
+// load balancers stop routing before the data port closes).
+func TestHealthzAdmissionStates(t *testing.T) {
+	o := obs.New(0)
+	sys, err := core.NewSolidState(core.SolidStateConfig{
+		DRAMBytes:       4 << 20,
+		FlashBytes:      8 << 20,
+		BufferBytes:     256 << 10,
+		RBoxBytes:       256 << 10,
+		IdleCleanBlocks: 24,
+		WriteBackDelay:  30 * sim.Second,
+		Obs:             o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageCard(t, sys)
+	srv, err := server.New(server.Backend{
+		FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+	}, server.Config{HighWatermark: 0.05, LowWatermark: 0.01, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := server.NewAdmin(srv, o)
+
+	code, body := getHealthz(t, admin)
+	if code != 200 || body["state"] != "serving" || body["status"] != "ok" {
+		t.Fatalf("fresh server: code %d body %v, want 200/serving/ok", code, body)
+	}
+
+	// Stuff the tiny buffer past the high watermark with the cleaner
+	// behind: admission control starts shedding.
+	sess, err := srv.Open("healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for i := 0; i < 64 && !srv.Shedding(); i++ {
+		_, err := sess.Do(server.Request{Kind: server.OpPut, Key: uint64(i), Data: data})
+		if err != nil && !errors.Is(err, server.ErrOverloaded) {
+			t.Fatal(err)
+		}
+	}
+	if !srv.Shedding() {
+		t.Fatal("server never started shedding")
+	}
+	code, body = getHealthz(t, admin)
+	if code != 200 || body["state"] != "shedding" || body["status"] != "overloaded" || body["shedding"] != true {
+		t.Fatalf("shedding server: code %d body %v, want 200/shedding/overloaded", code, body)
+	}
+
+	// Drain directly on the server (no transport, no SetDraining): the
+	// surface must still report it, and degrade to 503.
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	code, body = getHealthz(t, admin)
+	if code != 503 || body["state"] != "draining" || body["draining"] != true {
+		t.Fatalf("draining server: code %d body %v, want 503/draining", code, body)
+	}
+}
+
+// TestHealthzSetDraining covers the transport path: the admin flag alone
+// (flipped at Shutdown before the data port closes) must degrade
+// /healthz to 503.
+func TestHealthzSetDraining(t *testing.T) {
+	o := obs.New(0)
+	_, srv := newStack(t, core.SolidStateConfig{Obs: o})
+	admin := server.NewAdmin(srv, o)
+	if code, body := getHealthz(t, admin); code != 200 || body["state"] != "serving" {
+		t.Fatalf("fresh: %d %v", code, body)
+	}
+	admin.SetDraining(true)
+	if code, body := getHealthz(t, admin); code != 503 || body["state"] != "draining" {
+		t.Fatalf("SetDraining: %d %v", code, body)
+	}
+	admin.SetDraining(false)
+	if code, body := getHealthz(t, admin); code != 200 || body["state"] != "serving" {
+		t.Fatalf("undrained: %d %v", code, body)
+	}
+}

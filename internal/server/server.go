@@ -499,7 +499,13 @@ func (s *Server) doSync(req Request) (Response, error) {
 		s.batched.Inc()
 		return Response{Batched: true}, nil
 	}
-	if err := s.b.FS.Sync(); err != nil {
+	// The flush below is the group commit: everything it forces to flash
+	// is charged to the group-commit-flush cause (the FS overrides its
+	// own checkpoint stream to metadata inside this scope).
+	restore := s.obs.PushCause(obs.CauseGroupCommitFlush)
+	err := s.b.FS.Sync()
+	restore()
+	if err != nil {
 		return Response{}, err
 	}
 	s.lastSync = s.b.Clock.Now()
@@ -532,6 +538,8 @@ func (s *Server) Drain() error {
 		return nil
 	}
 	s.draining = true
+	// The drain flush is sync-forced traffic too: same cause as doSync.
+	defer s.obs.PushCause(obs.CauseGroupCommitFlush)()
 	return s.b.FS.Sync()
 }
 

@@ -615,8 +615,12 @@ func (m *Manager) PowerFailRecover() (lostBytes int64) {
 }
 
 // Sync migrates every dirty block to flash (shutdown, or an explicit
-// application fsync).
+// application fsync). These migrations are forced out early by the sync
+// rather than aged out by the write-back daemon, so their flash traffic
+// is charged to the group-commit-flush cause; daemon and eviction
+// migrations keep the ambient cause (host-write by default).
 func (m *Manager) Sync() error {
+	defer m.obs.PushCause(obs.CauseGroupCommitFlush)()
 	for {
 		el := m.dirtyOrder.Front()
 		if el == nil {

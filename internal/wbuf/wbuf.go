@@ -359,8 +359,11 @@ func (b *Buffer) Tick() error {
 	}
 }
 
-// Sync flushes everything, oldest dirty first.
+// Sync flushes everything, oldest dirty first. The flushes are forced
+// out early by the explicit sync, so their flash programs are charged to
+// the group-commit-flush cause rather than the write-back default.
 func (b *Buffer) Sync() error {
+	defer b.obs.PushCause(obs.CauseGroupCommitFlush)()
 	for {
 		el := b.dirtyOrder.Front()
 		if el == nil {
