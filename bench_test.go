@@ -9,7 +9,10 @@
 package ssmobile_test
 
 import (
+	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -18,6 +21,7 @@ import (
 
 	"ssmobile/internal/core"
 	"ssmobile/internal/obs"
+	"ssmobile/internal/prof"
 	"ssmobile/internal/server"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/trace"
@@ -299,6 +303,78 @@ func BenchmarkTracedServeThroughput(b *testing.B) {
 	b.ReportMetric(served, "served-vop/s")
 	b.ReportMetric(shed, "shed")
 	b.ReportMetric(p99ms, "p99-vms")
+}
+
+// serveWorkload builds a fresh serving stack (optionally observed) and
+// drives the standard 8-client benchmark workload through it once.
+func serveWorkload(b *testing.B, o *obs.Observer) server.RunStats {
+	b.Helper()
+	sys, err := core.NewSolidState(core.SolidStateConfig{
+		DRAMBytes: 8 << 20, FlashBytes: 16 << 20, BufferBytes: 1 << 20,
+		IdleCleanBlocks: 24, Obs: o,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Backend{
+		FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+	}, server.Config{Obs: o})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := server.RunWorkload(srv, workload.Config{
+		Seed: benchSeed, Clients: 8, OpsPerClient: 200, Keys: 16,
+		Popularity: workload.Zipf,
+		Mix:        workload.Mix{Read: 0.55, Write: 0.35, Truncate: 0.02, Delete: 0.03, Sync: 0.05},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// serveProfDir directs BenchmarkServeAllocProfile's pprof output.
+var serveProfDir = flag.String("serveprof", "",
+	"directory BenchmarkServeAllocProfile writes serve.cpu.pprof and serve.heap.pprof into")
+
+// BenchmarkServeAllocProfile is BenchmarkServeThroughput instrumented
+// for profiling: it captures a CPU profile across the timed loop and an
+// allocation (heap) profile after it, both through internal/prof, so
+// the serve path's host cost can be broken down function by function.
+// Run it via `make bench` or directly:
+//
+//	go test -run xxx -bench BenchmarkServeAllocProfile -benchtime 10x \
+//	    -serveprof /tmp/serveprof -memprofilerate=1 .
+//	go tool pprof -sample_index=alloc_objects ssmobile.test /tmp/serveprof/serve.heap.pprof
+//
+// -memprofilerate=1 records every allocation exactly; the default rate
+// samples one allocation per 512 KiB, which badly distorts object
+// counts for the small objects that dominate this path. Without
+// -serveprof the benchmark still runs and reports the usual metrics,
+// so it stays safe under `go test -bench .`.
+func BenchmarkServeAllocProfile(b *testing.B) {
+	if *serveProfDir != "" {
+		if err := os.MkdirAll(*serveProfDir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		stop, err := prof.StartCPU(filepath.Join(*serveProfDir, "serve.cpu.pprof"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			if err := prof.WriteHeap(filepath.Join(*serveProfDir, "serve.heap.pprof")); err != nil {
+				b.Fatal(err)
+			}
+		}()
+		defer stop()
+		b.ResetTimer()
+	}
+	var st server.RunStats
+	for i := 0; i < b.N; i++ {
+		st = serveWorkload(b, nil)
+	}
+	b.ReportMetric(st.CompletedRate(), "served-vop/s")
+	b.ReportMetric(st.Lat.Quantile(0.99)/1e6, "p99-vms")
 }
 
 // BenchmarkRunAllSerial and BenchmarkRunAllParallel run the entire

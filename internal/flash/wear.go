@@ -67,6 +67,14 @@ func (d *Device) initWear(o *obs.Observer) {
 	d.eraseRate = obs.NewRateSampler(rateSamplerCap, HealthWindow)
 	d.progRate = obs.NewRateSampler(rateSamplerCap, HealthWindow)
 
+	if !o.Exports() {
+		// No registry: none of the read-through gauges below could ever
+		// be collected, and building them (a hundred-plus label sets and
+		// closures per device) is pure construction cost. The counters
+		// and samplers above still work standalone, so nothing the
+		// device itself reports is lost.
+		return
+	}
 	base := obs.Labels{"layer": "flash", "device": dev}
 	wearGauges := func(bank string, counts func() []int64) {
 		for _, stat := range []string{"max", "mean", "p99"} {

@@ -128,6 +128,19 @@ type FS struct {
 
 	metaCheckpointBlocks int64 // blocks object 0 held at last checkpoint
 
+	// Reusable hot-path scratch. FS is single-threaded (see the type
+	// comment), and none of the consumers retain the buffers: blockBuf
+	// assembles one block per ReadAt/WriteAt iteration, recBuf holds one
+	// journal record, ckptBuf the framed metadata checkpoint.
+	blockBuf []byte
+	recBuf   []byte
+	ckptBuf  []byte
+
+	// inodeFree recycles fully-unlinked inodes (delete/recreate churn is
+	// steady-state traffic for object stores); recycled inodes are reset
+	// wholesale before reuse, so no stale field survives.
+	inodeFree []*Inode
+
 	obs                     *obs.Observer
 	creates, reads, writes  *obs.Counter
 	removes, syncs          *obs.Counter
@@ -180,7 +193,9 @@ func (f *FS) BlockBytes() int { return f.sm.BlockBytes() }
 // Manager exposes the underlying storage manager (for experiments).
 func (f *FS) Manager() *storman.Manager { return f.sm }
 
-// splitPath validates and splits an absolute path into components.
+// splitPath validates and splits an absolute path into components. Cold
+// paths (MkdirAll, Stat's leaf naming) still use it; the per-request walk
+// below slices components out of the path in place instead.
 func splitPath(path string) ([]string, error) {
 	if path == "" || path[0] != '/' {
 		return nil, fmt.Errorf("%w: %q must be absolute", ErrBadPath, path)
@@ -198,57 +213,165 @@ func splitPath(path string) ([]string, error) {
 	return parts, nil
 }
 
-// resolve walks the path to an inode.
-func (f *FS) resolve(path string) (*Inode, error) {
-	parts, err := splitPath(path)
-	if err != nil {
-		return nil, err
+// walkErrKind classifies a path-walk failure without formatting an error,
+// so probe callers (Exists, the server's existence checks) pay nothing on
+// the miss path; resolve formats the kind into the public error values.
+type walkErrKind uint8
+
+const (
+	walkOK walkErrKind = iota
+	walkNotAbsolute
+	walkDotDot
+	walkNotDir
+	walkNotExist
+	walkDangling
+	walkNoParent
+)
+
+// validate checks the path shape the way splitPath does — absolute, no
+// ".." anywhere — before any component is resolved, so malformed paths
+// report ErrBadPath even when an earlier component is missing.
+func validatePath(path string) walkErrKind {
+	if path == "" || path[0] != '/' {
+		return walkNotAbsolute
+	}
+	for i := 0; i < len(path); {
+		j := i + 1
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		if path[i+1:j] == ".." {
+			return walkDotDot
+		}
+		i = j
+	}
+	return walkOK
+}
+
+// walk resolves path to an inode without allocating.
+func (f *FS) walk(path string) (*Inode, walkErrKind, string) {
+	if kind := validatePath(path); kind != walkOK {
+		return nil, kind, ""
 	}
 	cur := f.inodes[RootIno]
-	for _, name := range parts {
+	for i := 0; i < len(path); {
+		j := i + 1
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		name := path[i+1 : j]
+		i = j
+		if name == "" || name == "." {
+			continue
+		}
 		if cur.Kind != KindDir {
-			return nil, fmt.Errorf("%w: %q", ErrNotDir, path)
+			return nil, walkNotDir, ""
 		}
 		ino, ok := cur.Entries[name]
 		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrNotExist, path)
+			return nil, walkNotExist, ""
 		}
 		cur = f.inodes[ino]
 		if cur == nil {
-			return nil, fmt.Errorf("fs: dangling entry %q in %q", name, path)
+			return nil, walkDangling, name
 		}
 	}
-	return cur, nil
+	return cur, walkOK, ""
+}
+
+// walkParent resolves path's parent directory and leaf name without
+// allocating.
+func (f *FS) walkParent(path string) (*Inode, string, walkErrKind, string) {
+	if kind := validatePath(path); kind != walkOK {
+		return nil, "", kind, ""
+	}
+	cur := f.inodes[RootIno]
+	leaf := ""
+	for i := 0; i < len(path); {
+		j := i + 1
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		name := path[i+1 : j]
+		i = j
+		if name == "" || name == "." {
+			continue
+		}
+		if leaf != "" {
+			if cur.Kind != KindDir {
+				return nil, "", walkNotDir, ""
+			}
+			ino, ok := cur.Entries[leaf]
+			if !ok {
+				return nil, "", walkNotExist, ""
+			}
+			cur = f.inodes[ino]
+			if cur == nil {
+				return nil, "", walkDangling, leaf
+			}
+		}
+		leaf = name
+	}
+	if leaf == "" {
+		return nil, "", walkNoParent, ""
+	}
+	if cur.Kind != KindDir {
+		return nil, "", walkNotDir, ""
+	}
+	return cur, leaf, walkOK, ""
+}
+
+// walkError formats a walk failure into the public error values, with the
+// same messages resolve has always produced.
+func walkError(kind walkErrKind, comp, path string) error {
+	switch kind {
+	case walkNotAbsolute:
+		return fmt.Errorf("%w: %q must be absolute", ErrBadPath, path)
+	case walkDotDot:
+		return fmt.Errorf("%w: %q may not contain ..", ErrBadPath, path)
+	case walkNotDir:
+		return fmt.Errorf("%w: %q", ErrNotDir, path)
+	case walkNotExist:
+		return fmt.Errorf("%w: %q", ErrNotExist, path)
+	case walkDangling:
+		return fmt.Errorf("fs: dangling entry %q in %q", comp, path)
+	case walkNoParent:
+		return fmt.Errorf("%w: %q has no parent", ErrBadPath, path)
+	}
+	return nil
+}
+
+// resolve walks the path to an inode. The success path does not allocate;
+// errors are formatted only when they actually propagate.
+func (f *FS) resolve(path string) (*Inode, error) {
+	node, kind, comp := f.walk(path)
+	if kind != walkOK {
+		return nil, walkError(kind, comp, path)
+	}
+	return node, nil
 }
 
 // resolveParent walks to the parent directory of path and returns it with
 // the leaf name.
 func (f *FS) resolveParent(path string) (*Inode, string, error) {
-	parts, err := splitPath(path)
-	if err != nil {
-		return nil, "", err
+	parent, leaf, kind, comp := f.walkParent(path)
+	if kind != walkOK {
+		return nil, "", walkError(kind, comp, path)
 	}
-	if len(parts) == 0 {
-		return nil, "", fmt.Errorf("%w: %q has no parent", ErrBadPath, path)
-	}
-	cur := f.inodes[RootIno]
-	for _, name := range parts[:len(parts)-1] {
-		if cur.Kind != KindDir {
-			return nil, "", fmt.Errorf("%w: %q", ErrNotDir, path)
-		}
-		ino, ok := cur.Entries[name]
-		if !ok {
-			return nil, "", fmt.Errorf("%w: %q", ErrNotExist, path)
-		}
-		cur = f.inodes[ino]
-	}
-	if cur.Kind != KindDir {
-		return nil, "", fmt.Errorf("%w: %q", ErrNotDir, path)
-	}
-	return cur, parts[len(parts)-1], nil
+	return parent, leaf, nil
 }
 
 func (f *FS) now() sim.Time { return f.clock.Now() }
+
+// scratchBlock returns the file system's reusable one-block buffer.
+// ReadAt and WriteAt never nest, so a single buffer serves both.
+func (f *FS) scratchBlock() []byte {
+	bs := f.BlockBytes()
+	if cap(f.blockBuf) < bs {
+		f.blockBuf = make([]byte, bs)
+	}
+	return f.blockBuf[:bs]
+}
 
 // span opens an op span against the file system's clock and the DRAM
 // device's energy meter.
@@ -257,6 +380,16 @@ func (f *FS) span(op string) obs.SpanRef {
 }
 
 // create makes a new inode under the parent.
+// newInode returns a zeroed inode, reusing a recycled one when possible.
+func (f *FS) newInode() *Inode {
+	if n := len(f.inodeFree); n > 0 {
+		node := f.inodeFree[n-1]
+		f.inodeFree = f.inodeFree[:n-1]
+		return node
+	}
+	return &Inode{}
+}
+
 func (f *FS) create(path string, kind Kind) (_ *Inode, err error) {
 	parent, leaf, err := f.resolveParent(path)
 	if err != nil {
@@ -270,7 +403,8 @@ func (f *FS) create(path string, kind Kind) (_ *Inode, err error) {
 	f.creates.Inc()
 	ino := f.nextIno
 	f.nextIno++
-	node := &Inode{Ino: ino, Kind: kind, Nlink: 1, MtimeNs: int64(f.now())}
+	node := f.newInode()
+	node.Ino, node.Kind, node.Nlink, node.MtimeNs = ino, kind, 1, int64(f.now())
 	if kind == KindDir {
 		node.Entries = make(map[string]uint64)
 	}
@@ -387,10 +521,15 @@ func (f *FS) WriteAt(path string, off int64, data []byte) (_ int, err error) {
 		} else {
 			// Assemble the block: existing contents, zero-extended to
 			// cover the write, then the new bytes.
-			buf := make([]byte, int(bs))
+			buf := f.scratchBlock()
 			got, err := f.sm.ReadBlock(key, buf)
 			if err != nil {
 				return written, err
+			}
+			// Zero the hole between the existing contents and the write
+			// (the buffer is reused, so stale bytes must not leak in).
+			for i := got; i < blkOff; i++ {
+				buf[i] = 0
 			}
 			end := blkOff + n
 			if got > end {
@@ -448,7 +587,7 @@ func (f *FS) ReadAt(path string, off int64, buf []byte) (_ int, err error) {
 	defer func() { sp.End(read, err) }()
 	f.reads.Inc()
 	defer func() { f.bytesRead.Add(read) }()
-	block := make([]byte, int(bs))
+	block := f.scratchBlock()
 	for read < want {
 		blk := (off + read) / bs
 		blkOff := int((off + read) % bs)
@@ -582,6 +721,8 @@ func (f *FS) Remove(path string) (err error) {
 			}
 		}
 		delete(f.inodes, ino)
+		*node = Inode{}
+		f.inodeFree = append(f.inodeFree, node)
 	}
 	parent.MtimeNs = int64(f.now())
 	return f.journal(recRemove, ino, parent.Ino, 0, leaf, "")
@@ -613,8 +754,8 @@ func (f *FS) Rename(oldPath, newPath string) error {
 
 // Exists reports whether the path resolves.
 func (f *FS) Exists(path string) bool {
-	_, err := f.resolve(path)
-	return err == nil
+	_, kind, _ := f.walk(path)
+	return kind == walkOK
 }
 
 // NumInodes reports the live inode count (including the root).

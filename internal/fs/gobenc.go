@@ -1,0 +1,275 @@
+package fs
+
+// Hand-rolled gob encoding for the recovery-box snapshot.
+//
+// The snapshot is re-encoded on every journal rollover and every
+// checkpoint, and encoding/gob's reflection walk allocates per map entry
+// — it was the single largest allocation source left on the serve hot
+// path. This encoder emits the identical wire format for the one
+// concrete type the snapshot uses (snapshotState), appending into a
+// caller-owned buffer, so steady-state snapshots allocate nothing.
+//
+// Compatibility is load-bearing in two ways. The bytes must decode with
+// encoding/gob (decodeState is unchanged, and recovery boxes written
+// before this encoder must keep decoding). And the byte LENGTH must be
+// exactly what gob produced, because the snapshot is written to the
+// simulated DRAM device, whose charged latency depends on length — a
+// different length would shift virtual time and change every
+// experiment's output. Gob's only wire freedom is map iteration order,
+// which never changes the length; this encoder fixes the order to
+// sorted keys, making snapshot bytes deterministic (an improvement gob
+// itself never offered).
+//
+// The type-descriptor prefix is not synthesised: it is captured once
+// per process from a real gob encode of a dummy value, and the hand
+// encoding of that dummy is compared byte-for-byte against gob's
+// output. If the self-check ever fails (say a future Go release changes
+// a wire detail), encodeState falls back to real gob — correctness is
+// never on the line, only the allocation win.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// appendGobUint appends gob's unsigned-integer encoding: values below
+// 128 are one byte; larger values are minimal big-endian bytes preceded
+// by the negated byte count.
+func appendGobUint(dst []byte, v uint64) []byte {
+	if v < 128 {
+		return append(dst, byte(v))
+	}
+	var tmp [8]byte
+	n := 0
+	for x := v; x > 0; x >>= 8 {
+		n++
+	}
+	for i := n - 1; i >= 0; i-- {
+		tmp[i] = byte(v)
+		v >>= 8
+	}
+	dst = append(dst, byte(-int8(n)))
+	return append(dst, tmp[:n]...)
+}
+
+// appendGobInt appends gob's signed-integer encoding (low bit is the
+// sign, the rest the complemented-or-plain magnitude).
+func appendGobInt(dst []byte, i int64) []byte {
+	var x uint64
+	if i < 0 {
+		x = uint64(^i<<1) | 1
+	} else {
+		x = uint64(i << 1)
+	}
+	return appendGobUint(dst, x)
+}
+
+func appendGobString(dst []byte, s string) []byte {
+	dst = appendGobUint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// readGobUint decodes one gob unsigned integer, returning the value and
+// bytes consumed (0 on malformed input).
+func readGobUint(p []byte) (uint64, int) {
+	if len(p) == 0 {
+		return 0, 0
+	}
+	b := p[0]
+	if b < 128 {
+		return uint64(b), 1
+	}
+	n := -int(int8(b))
+	if n > 8 || len(p) < 1+n {
+		return 0, 0
+	}
+	var v uint64
+	for _, c := range p[1 : 1+n] {
+		v = v<<8 | uint64(c)
+	}
+	return v, 1 + n
+}
+
+// snapScratch holds the sorted-key buffers one encoder pass needs.
+type snapScratch struct {
+	inos  []uint64
+	names []string
+}
+
+// appendInodeBody appends the gob struct encoding of one inode: each
+// non-zero field as (field delta, value), terminated by a zero delta.
+func appendInodeBody(dst []byte, node *Inode, scratch *snapScratch) []byte {
+	prev := -1
+	field := func(idx int) {
+		dst = appendGobUint(dst, uint64(idx-prev))
+		prev = idx
+	}
+	if node.Ino != 0 {
+		field(0)
+		dst = appendGobUint(dst, node.Ino)
+	}
+	if node.Kind != 0 {
+		field(1)
+		dst = appendGobUint(dst, uint64(node.Kind))
+	}
+	if node.Size != 0 {
+		field(2)
+		dst = appendGobInt(dst, node.Size)
+	}
+	if node.Nlink != 0 {
+		field(3)
+		dst = appendGobInt(dst, int64(node.Nlink))
+	}
+	if node.MtimeNs != 0 {
+		field(4)
+		dst = appendGobInt(dst, node.MtimeNs)
+	}
+	// Gob omits only nil maps; an empty non-nil map is sent with count
+	// zero (and decodes back non-nil). Matching that exactly matters both
+	// for byte length and because replay writes into decoded dir maps.
+	if node.Entries != nil {
+		field(5)
+		dst = appendGobUint(dst, uint64(len(node.Entries)))
+		names := scratch.names[:0]
+		for name := range node.Entries {
+			names = append(names, name)
+		}
+		slices.Sort(names)
+		for _, name := range names {
+			dst = appendGobString(dst, name)
+			dst = appendGobUint(dst, node.Entries[name])
+		}
+		scratch.names = names
+	}
+	return append(dst, 0)
+}
+
+// appendStateBody appends the gob struct encoding of the snapshot state
+// itself (without message framing).
+func appendStateBody(dst []byte, st snapshotState, scratch *snapScratch) []byte {
+	prev := -1
+	if st.NextIno != 0 {
+		dst = appendGobUint(dst, uint64(0-prev))
+		prev = 0
+		dst = appendGobUint(dst, st.NextIno)
+	}
+	if st.Inodes != nil {
+		dst = appendGobUint(dst, uint64(1-prev))
+		dst = appendGobUint(dst, uint64(len(st.Inodes)))
+		inos := scratch.inos[:0]
+		for ino := range st.Inodes {
+			inos = append(inos, ino)
+		}
+		slices.Sort(inos)
+		for _, ino := range inos {
+			dst = appendGobUint(dst, ino)
+			dst = appendInodeBody(dst, st.Inodes[ino], scratch)
+		}
+		scratch.inos = inos
+	}
+	return append(dst, 0)
+}
+
+var (
+	snapCodecOnce sync.Once
+	snapPrefix    []byte // the stream's type-descriptor messages
+	snapTypeID    int64  // the type id value messages carry
+	snapCodecErr  error  // non-nil: self-check failed, fall back to gob
+)
+
+// initSnapCodec captures the descriptor prefix and type id from a real
+// gob encode, then verifies the hand encoder reproduces gob's bytes.
+func initSnapCodec() {
+	// Single-entry maps make gob's output deterministic, so encoding the
+	// dummy twice yields two identical value messages; everything before
+	// the second one's span is the descriptor prefix.
+	dummy := snapshotState{
+		NextIno: 3,
+		Inodes: map[uint64]*Inode{
+			2: {Ino: 2, Kind: KindDir, Size: 1, Nlink: 1, MtimeNs: 5,
+				Entries: map[string]uint64{"a": 2}},
+		},
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(dummy); err != nil {
+		snapCodecErr = err
+		return
+	}
+	aLen := buf.Len()
+	if err := enc.Encode(dummy); err != nil {
+		snapCodecErr = err
+		return
+	}
+	all := buf.Bytes()
+	msgLen := len(all) - aLen
+	if msgLen <= 0 || msgLen > aLen {
+		snapCodecErr = fmt.Errorf("fs: gob prefix capture confused (%d/%d)", aLen, msgLen)
+		return
+	}
+	snapPrefix = append([]byte(nil), all[:aLen-msgLen]...)
+
+	msg := all[aLen:]
+	bodyLen, n := readGobUint(msg)
+	if n == 0 || int(bodyLen) != len(msg)-n {
+		snapCodecErr = fmt.Errorf("fs: gob value message framing confused")
+		return
+	}
+	id, idn := readGobUint(msg[n:])
+	if idn == 0 || id&1 != 0 { // signed encoding of a positive id has low bit 0
+		snapCodecErr = fmt.Errorf("fs: gob type id confused")
+		return
+	}
+	snapTypeID = int64(id >> 1)
+
+	var scratch snapScratch
+	hand := appendStateMessages(nil, dummy, &scratch)
+	if !bytes.Equal(hand, all[:aLen]) {
+		snapCodecErr = fmt.Errorf("fs: hand gob encoding diverges from encoding/gob")
+	}
+}
+
+// appendStateMessages appends the full gob stream for st (descriptor
+// prefix plus one framed value message) to dst.
+func appendStateMessages(dst []byte, st snapshotState, scratch *snapScratch) []byte {
+	dst = append(dst, snapPrefix...)
+	// Frame the body with its byte count. The body starts with the type
+	// id; lengths here are tiny compared to the varint break-points, so
+	// reserving the maximal frame and shifting is not worth it — encode
+	// the body after a placeholder pass instead: body length depends
+	// only on content, so build body bytes first in the same buffer and
+	// move them if the frame width demands it.
+	frameAt := len(dst)
+	dst = appendGobInt(dst, snapTypeID)
+	dst = appendStateBody(dst, st, scratch)
+	bodyLen := len(dst) - frameAt
+	var frame [9]byte
+	framed := appendGobUint(frame[:0], uint64(bodyLen))
+	// Shift the body right by len(framed) and lay the frame in front.
+	dst = append(dst, framed...)
+	copy(dst[frameAt+len(framed):], dst[frameAt:frameAt+bodyLen])
+	copy(dst[frameAt:], framed)
+	return dst
+}
+
+// appendState appends the gob-compatible snapshot encoding of st to dst,
+// falling back to encoding/gob if the startup self-check failed.
+func appendState(dst []byte, st snapshotState) ([]byte, error) {
+	snapCodecOnce.Do(initSnapCodec)
+	if snapCodecErr != nil {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+			return nil, err
+		}
+		return append(dst, buf.Bytes()...), nil
+	}
+	scratch := snapScratchPool.Get().(*snapScratch)
+	dst = appendStateMessages(dst, st, scratch)
+	snapScratchPool.Put(scratch)
+	return dst, nil
+}
+
+var snapScratchPool = sync.Pool{New: func() any { return &snapScratch{} }}

@@ -1,0 +1,7 @@
+//go:build race
+
+package fs
+
+// raceEnabled reports whether the race detector is active; allocation
+// counts are not meaningful under its instrumentation.
+const raceEnabled = true

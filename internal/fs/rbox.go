@@ -63,6 +63,7 @@ type rbox struct {
 
 	jLen    int64
 	jCRC    uint32
+	encBuf  []byte // reusable snapshot-encoding buffer
 	records int
 
 	snapLen int64
@@ -92,11 +93,7 @@ func newRBox(cfg Config, clock *sim.Clock, dev *dram.Device) (*rbox, error) {
 }
 
 func encodeState(st snapshotState) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return appendState(nil, st)
 }
 
 func decodeState(p []byte) (snapshotState, error) {
@@ -105,9 +102,11 @@ func decodeState(p []byte) (snapshotState, error) {
 	return st, err
 }
 
-// writeHeader rewrites the header fields after a snapshot or append.
+// writeHeader rewrites the header fields after a snapshot or append. The
+// header buffer lives on the stack: the DRAM device copies it out.
 func (r *rbox) writeHeader(snapLen int64, snapCRC uint32) error {
-	hdr := make([]byte, rboxHeader)
+	var hdrArr [rboxHeader]byte
+	hdr := hdrArr[:]
 	copy(hdr, rboxMagic)
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(snapLen))
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(snapCRC))
@@ -118,11 +117,15 @@ func (r *rbox) writeHeader(snapLen int64, snapCRC uint32) error {
 }
 
 // snapshot serialises the full metadata state and resets the journal.
+// The encoding reuses the box's buffer, so steady-state rollovers do
+// not allocate.
 func (r *rbox) snapshot(st snapshotState) error {
-	data, err := encodeState(st)
+	var err error
+	r.encBuf, err = appendState(r.encBuf[:0], st)
 	if err != nil {
 		return err
 	}
+	data := r.encBuf
 	if int64(len(data)) > r.snapCap {
 		return fmt.Errorf("%w: snapshot of %d exceeds %d", ErrRBoxFull, len(data), r.snapCap)
 	}
@@ -154,7 +157,11 @@ func (r *rbox) append(rec []byte) error {
 
 // encodeRecord packs one journal record.
 func encodeRecord(kind byte, a, b, c uint64, s1, s2 string) []byte {
-	rec := make([]byte, 0, 1+24+4+len(s1)+len(s2))
+	return appendRecord(make([]byte, 0, 1+24+4+len(s1)+len(s2)), kind, a, b, c, s1, s2)
+}
+
+// appendRecord packs one journal record onto rec, reusing its capacity.
+func appendRecord(rec []byte, kind byte, a, b, c uint64, s1, s2 string) []byte {
 	rec = append(rec, kind)
 	rec = binary.LittleEndian.AppendUint64(rec, a)
 	rec = binary.LittleEndian.AppendUint64(rec, b)
@@ -218,7 +225,8 @@ func (f *FS) journal(kind byte, a, b, c uint64, s1, s2 string) error {
 		}
 		return nil // the snapshot already includes this mutation
 	}
-	err := f.rbox.append(encodeRecord(kind, a, b, c, s1, s2))
+	f.recBuf = appendRecord(f.recBuf[:0], kind, a, b, c, s1, s2)
+	err := f.rbox.append(f.recBuf)
 	if errors.Is(err, ErrRBoxFull) {
 		return f.rbox.snapshot(f.snapshotState())
 	}
@@ -354,14 +362,16 @@ func (f *FS) Checkpoint() error {
 	// The checkpoint stream is filesystem metadata: charge its flash
 	// programs to the metadata cause, overriding any enclosing sync scope.
 	defer f.obs.PushCause(obs.CauseMetadata)()
-	data, err := encodeState(f.snapshotState())
+	if cap(f.ckptBuf) < 8 {
+		f.ckptBuf = make([]byte, 8, 256)
+	}
+	framed, err := appendState(f.ckptBuf[:8], f.snapshotState())
 	if err != nil {
 		return err
 	}
+	f.ckptBuf = framed
 	bs := f.BlockBytes()
-	framed := make([]byte, 8+len(data))
-	binary.LittleEndian.PutUint64(framed, uint64(len(data)))
-	copy(framed[8:], data)
+	binary.LittleEndian.PutUint64(framed, uint64(len(framed)-8))
 
 	var blk int64
 	for off := 0; off < len(framed); off += bs {

@@ -178,6 +178,12 @@ type FTL struct {
 
 	mountStats MountStats // wreckage found by Mount; zero for New
 
+	// Reusable hot-path scratch: cleanBuf carries one page through a
+	// cleaning relocation, oobBuf one spare-area record per program. The
+	// FTL is single-threaded and the device copies both out.
+	cleanBuf []byte
+	oobBuf   [OOBRecordBytes]byte
+
 	obs                     *obs.Observer
 	hostWrites, hostReads   *obs.Counter
 	hostBytes               *obs.Counter
@@ -255,8 +261,9 @@ func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 		f.mapping[i] = -1
 		f.reverse[i] = -1
 	}
+	perBank := (nb + len(f.freeByBank) - 1) / len(f.freeByBank)
 	for bank := range f.freeByBank {
-		p := newBankPool()
+		p := newBankPool(perBank)
 		p.init(func(b int) int64 { return dev.EraseCount(b) })
 		f.freeByBank[bank] = p
 	}
@@ -268,7 +275,10 @@ func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 	if cfg.Policy != PolicyDirect {
 		f.victims = newVictimIndex(cfg.Policy, ppb)
 		if cfg.WearDeltaThreshold > 0 {
-			f.wear = &lazyHeap{}
+			// One slot per block up front: the wear index holds at most
+			// one live entry per closed block, and pre-sizing spares the
+			// growth reallocations during the first cleaning cycles.
+			f.wear = &lazyHeap{es: make([]lazyEntry, 0, nb)}
 		}
 	}
 
@@ -404,8 +414,8 @@ func (f *FTL) programPage(ppn, lpn int64, data []byte) error {
 	}
 	if f.cfg.PersistMapping {
 		f.writeSeq++
-		rec := encodeOOB(f.writeSeq, lpn, f.tags[lpn])
-		if _, err := f.dev.ProgramSpare(ppn, rec); err != nil {
+		encodeOOBInto(f.oobBuf[:], f.writeSeq, lpn, f.tags[lpn])
+		if _, err := f.dev.ProgramSpare(ppn, f.oobBuf[:]); err != nil {
 			return err
 		}
 		f.pageSeq[lpn] = f.writeSeq
@@ -669,7 +679,10 @@ func (f *FTL) cleanOne(victim int) (err error) {
 	}
 	f.cleans.Inc()
 	base := int64(victim) * int64(f.pagesPerBlock)
-	buf := make([]byte, f.cfg.PageBytes)
+	if cap(f.cleanBuf) < f.cfg.PageBytes {
+		f.cleanBuf = make([]byte, f.cfg.PageBytes)
+	}
+	buf := f.cleanBuf[:f.cfg.PageBytes]
 	for i := 0; i < f.pagesPerBlock; i++ {
 		ppn := base + int64(i)
 		if f.state[ppn] != pageValid {

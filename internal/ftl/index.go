@@ -1,7 +1,5 @@
 package ftl
 
-import "container/heap"
-
 // This file holds the incremental indexes that replace the translation
 // layer's per-allocation linear scans:
 //
@@ -323,17 +321,27 @@ type bankPool struct {
 	max  poolHeap
 }
 
-func newBankPool() *bankPool {
-	p := &bankPool{pos: make(map[int]int)}
+// newBankPool sizes the list, position map and both heaps for n blocks
+// up front (the bank's block count is known at construction), so filling
+// the pool performs no growth reallocations.
+func newBankPool(n int) *bankPool {
+	p := &bankPool{
+		list: make([]int, 0, n),
+		pos:  make(map[int]int, n),
+	}
 	p.min.p, p.max.p = p, p
+	p.min.blocks = make([]int, 0, n)
+	p.max.blocks = make([]int, 0, n)
 	p.max.desc = true
 	return p
 }
 
 // poolHeap orders a bank's free blocks by erase count (ascending, or
-// descending when desc) then by list position. It implements
-// container/heap.Interface; idx tracks each block's heap slot so position
-// changes can Fix in O(log n).
+// descending when desc) then by list position. The sift routines mirror
+// container/heap exactly, but the interface-free entry points avoid
+// boxing every block id into an `any` on each push — that boxing showed
+// up as a steady hot-path allocation. idx tracks each block's heap slot
+// so position changes can fix in O(log n).
 type poolHeap struct {
 	p      *bankPool
 	blocks []int
@@ -342,9 +350,7 @@ type poolHeap struct {
 	count  func(int) int64
 }
 
-func (h *poolHeap) Len() int { return len(h.blocks) }
-
-func (h *poolHeap) Less(i, j int) bool {
+func (h *poolHeap) less(i, j int) bool {
 	bi, bj := h.blocks[i], h.blocks[j]
 	ci, cj := h.count(bi), h.count(bj)
 	if ci != cj {
@@ -356,30 +362,75 @@ func (h *poolHeap) Less(i, j int) bool {
 	return h.p.pos[bi] < h.p.pos[bj]
 }
 
-func (h *poolHeap) Swap(i, j int) {
+func (h *poolHeap) swap(i, j int) {
 	h.blocks[i], h.blocks[j] = h.blocks[j], h.blocks[i]
 	h.idx[h.blocks[i]] = i
 	h.idx[h.blocks[j]] = j
 }
 
-func (h *poolHeap) Push(x any) {
-	b := x.(int)
+func (h *poolHeap) push(b int) {
 	h.idx[b] = len(h.blocks)
 	h.blocks = append(h.blocks, b)
+	h.up(len(h.blocks) - 1)
 }
 
-func (h *poolHeap) Pop() any {
+// removeAt deletes the element in slot i, exactly as heap.Remove does.
+func (h *poolHeap) removeAt(i int) {
 	n := len(h.blocks) - 1
+	if n != i {
+		h.swap(i, n)
+		if !h.down(i, n) {
+			h.up(i)
+		}
+	}
 	b := h.blocks[n]
 	h.blocks = h.blocks[:n]
 	delete(h.idx, b)
-	return b
+}
+
+// fix re-establishes the ordering after the element in slot i changed
+// its key, exactly as heap.Fix does.
+func (h *poolHeap) fix(i int) {
+	if !h.down(i, len(h.blocks)) {
+		h.up(i)
+	}
+}
+
+func (h *poolHeap) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+func (h *poolHeap) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+	return i > i0
 }
 
 func (p *bankPool) init(count func(int) int64) {
 	p.min.count, p.max.count = count, count
-	p.min.idx = make(map[int]int)
-	p.max.idx = make(map[int]int)
+	p.min.idx = make(map[int]int, cap(p.min.blocks))
+	p.max.idx = make(map[int]int, cap(p.max.blocks))
 }
 
 func (p *bankPool) len() int { return len(p.list) }
@@ -388,8 +439,8 @@ func (p *bankPool) len() int { return len(p.list) }
 func (p *bankPool) add(b int) {
 	p.pos[b] = len(p.list)
 	p.list = append(p.list, b)
-	heap.Push(&p.min, b)
-	heap.Push(&p.max, b)
+	p.min.push(b)
+	p.max.push(b)
 }
 
 // best returns the block the legacy wear-aware scan would pick: the
@@ -414,12 +465,12 @@ func (p *bankPool) remove(b int) {
 	p.list[i] = moved
 	p.list = p.list[:last]
 	delete(p.pos, b)
-	heap.Remove(&p.min, p.min.idx[b])
-	heap.Remove(&p.max, p.max.idx[b])
+	p.min.removeAt(p.min.idx[b])
+	p.max.removeAt(p.max.idx[b])
 	if moved != b {
 		p.pos[moved] = i
-		heap.Fix(&p.min, p.min.idx[moved])
-		heap.Fix(&p.max, p.max.idx[moved])
+		p.min.fix(p.min.idx[moved])
+		p.max.fix(p.max.idx[moved])
 	}
 }
 

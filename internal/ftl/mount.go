@@ -37,11 +37,18 @@ func oobCheck(rec []byte) uint32 {
 
 func encodeOOB(seq uint64, lpn int64, tag Tag) []byte {
 	rec := make([]byte, OOBRecordBytes)
+	encodeOOBInto(rec, seq, lpn, tag)
+	return rec
+}
+
+// encodeOOBInto writes the record into rec (len ≥ OOBRecordBytes); the
+// program hot path passes a reusable scratch so per-page spare programs
+// never allocate.
+func encodeOOBInto(rec []byte, seq uint64, lpn int64, tag Tag) {
 	binary.LittleEndian.PutUint64(rec[4:], seq)
 	binary.LittleEndian.PutUint64(rec[12:], uint64(lpn))
 	copy(rec[20:], tag[:])
 	binary.LittleEndian.PutUint32(rec[0:], oobCheck(rec))
-	return rec
 }
 
 func decodeOOB(rec []byte) (seq uint64, lpn int64, tag Tag, ok bool) {

@@ -69,13 +69,82 @@ func (o *Observer) Cause() Cause {
 	return CauseHostWrite
 }
 
+// causeInterned backs one stable pointer per canonical cause, so pushing
+// a canonical cause never forces its argument to escape.
+var causeInterned = [...]Cause{
+	CauseHostWrite,
+	CauseGroupCommitFlush,
+	CauseCleanerMigrate,
+	CauseIdleClean,
+	CauseMountRecovery,
+	CauseMetadata,
+}
+
+func causePtr(c Cause) *Cause {
+	for i := range causeInterned {
+		if causeInterned[i] == c {
+			return &causeInterned[i]
+		}
+	}
+	return nil
+}
+
+var nopRestore = func() {}
+
 // PushCause installs c as the active cause and returns a restore
 // function that reinstates the previous cause; callers defer it so
 // scopes nest. Nil-safe: without an observer the push is a no-op.
+//
+// Pushes run on every daemon pass, sync and cleaner invocation, so the
+// implementation interns the canonical cause pointers and hands out
+// cached restore closures: pushing and restoring a canonical cause over
+// a canonical (or empty) previous cause allocates nothing.
 func (o *Observer) PushCause(c Cause) (restore func()) {
 	if o == nil {
-		return func() {}
+		return nopRestore
 	}
-	prev := o.cause.Swap(&c)
-	return func() { o.cause.Store(prev) }
+	p := causePtr(c)
+	if p == nil {
+		p = &c
+	}
+	prev := o.cause.Swap(p)
+	return o.causeRestoreFor(prev)
+}
+
+// causeRestoreFor returns a restore closure storing prev, cached when
+// prev is nil or an interned canonical pointer.
+func (o *Observer) causeRestoreFor(prev *Cause) func() {
+	idx := 0
+	if prev != nil {
+		for i := range causeInterned {
+			if prev == &causeInterned[i] {
+				idx = i + 1
+				break
+			}
+		}
+		if idx == 0 {
+			// A non-canonical cause was active; restore it the slow way.
+			return func() { o.cause.Store(prev) }
+		}
+	}
+	// The ready flag is checked before Do so the fast path passes no
+	// closure literal — sync.Once.Do's argument escapes and would
+	// otherwise allocate on every push.
+	if !o.causeReady.Load() {
+		o.buildCauseRestores()
+	}
+	return o.causeRestore[idx]
+}
+
+func (o *Observer) buildCauseRestores() {
+	o.causeOnce.Do(func() {
+		for j := range o.causeRestore {
+			var p *Cause
+			if j > 0 {
+				p = &causeInterned[j-1]
+			}
+			o.causeRestore[j] = func() { o.cause.Store(p) }
+		}
+		o.causeReady.Store(true)
+	})
 }

@@ -78,6 +78,27 @@ var stageIndex = map[string]int{
 	StageOther:  stageOther,
 }
 
+// stageIndexOf is stageIndex as a switch — same result including the
+// zero value for unknown names, without the map lookup on the span-open
+// hot path.
+func stageIndexOf(name string) int {
+	switch name {
+	case StageQueue:
+		return stageQueue
+	case StageBuffer:
+		return stageBuffer
+	case StageFlush:
+		return stageFlush
+	case StageFlash:
+		return stageFlash
+	case StageClean:
+		return stageClean
+	case StageOther:
+		return stageOther
+	}
+	return 0
+}
+
 // EffectiveStage resolves a span's stage from its declared stage and the
 // effective stage of its enclosing span: cleaning is sticky, an explicit
 // declaration wins otherwise, and an undeclared span inherits its
@@ -183,8 +204,10 @@ type TraceContext struct {
 // It returns nil — and the run stays untraced, at nil cost — when the
 // observer has no tracer, or when a request context is already active
 // (requests do not nest). The caller must Finish the returned context on
-// every path; tracing never alters simulated time or behaviour, only
-// what is recorded about it.
+// every path, and must not touch it afterwards: Finish recycles the
+// context into the observer's spare slot, so the enabled trace path
+// allocates nothing per request in steady state. Tracing never alters
+// simulated time or behaviour, only what is recorded about it.
 func (o *Observer) BeginRequest(clock *sim.Clock, layer, op string, queue sim.Duration) *TraceContext {
 	if o == nil || o.Tracer == nil || clock == nil {
 		return nil
@@ -192,13 +215,21 @@ func (o *Observer) BeginRequest(clock *sim.Clock, layer, op string, queue sim.Du
 	if o.reqCtx.Load() != nil {
 		return nil
 	}
-	tc := &TraceContext{
+	tc := o.ctxFree.Swap(nil)
+	if tc == nil {
+		tc = &TraceContext{}
+	}
+	now := clock.Now()
+	*tc = TraceContext{
 		o: o, t: o.Tracer, clock: clock,
 		root:  o.spanIDs.Add(1),
 		layer: layer, op: op,
-		start: clock.Now(),
+		start: now,
 		queue: queue,
-		mark:  clock.Now(),
+		mark:  now,
+		// The recycled frame stack keeps its capacity; past the first few
+		// requests every push lands in existing backing array.
+		frames: tc.frames[:0],
 	}
 	tc.stages[stageQueue] = queue
 	tc.frames = append(tc.frames, ctxFrame{id: tc.root, stage: stageOther})
@@ -237,14 +268,18 @@ func (tc *TraceContext) open(now sim.Time, declared string) (id, parent uint64, 
 	tc.accrue(now)
 	top := tc.frames[len(tc.frames)-1]
 	eff := declared
+	var idx int
 	switch {
 	case top.stage == stageClean || declared == StageClean:
-		eff = StageClean
+		eff, idx = StageClean, stageClean
 	case declared == "":
-		eff = stageName(top.stage)
+		idx = top.stage
+		eff = stageName(idx)
+	default:
+		idx = stageIndexOf(declared)
 	}
 	id = tc.o.spanIDs.Add(1)
-	tc.frames = append(tc.frames, ctxFrame{id: id, stage: stageIndex[eff]})
+	tc.frames = append(tc.frames, ctxFrame{id: id, stage: idx})
 	return id, top.id, eff
 }
 
@@ -271,7 +306,9 @@ func (tc *TraceContext) Finish(bytes int64, err error) Breakdown {
 	return tc.FinishOutcome(bytes, outcome)
 }
 
-// FinishOutcome is Finish with an explicit outcome string.
+// FinishOutcome is Finish with an explicit outcome string. The context
+// must not be used after it returns: it is recycled into the observer's
+// spare slot for the next BeginRequest.
 func (tc *TraceContext) FinishOutcome(bytes int64, outcome string) Breakdown {
 	if tc == nil {
 		return Breakdown{}
@@ -279,12 +316,17 @@ func (tc *TraceContext) FinishOutcome(bytes int64, outcome string) Breakdown {
 	now := tc.clock.Now()
 	tc.accrue(now)
 	tc.frames = tc.frames[:1]
-	tc.o.reqCtx.Store(nil)
+	o := tc.o
+	o.reqCtx.Store(nil)
 	tc.t.Record(Span{
 		Start: tc.start, End: now,
 		Layer: tc.layer, Op: tc.op,
 		Bytes: bytes, Outcome: outcome,
 		ID: tc.root, Queue: tc.queue, Stage: StageOther,
 	})
-	return breakdownFrom(&tc.stages)
+	bd := breakdownFrom(&tc.stages)
+	frames := tc.frames[:0]
+	*tc = TraceContext{frames: frames}
+	o.ctxFree.Store(tc)
+	return bd
 }

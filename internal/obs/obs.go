@@ -413,11 +413,19 @@ type Observer struct {
 
 	// reqCtx is the active request's trace context (see BeginRequest);
 	// spanIDs allocates span identities within this observer's stream.
+	// ctxFree holds one retired context for reuse — requests do not nest,
+	// so a single spare makes the enabled trace path allocation-free.
 	reqCtx  atomic.Pointer[TraceContext]
 	spanIDs atomic.Uint64
+	ctxFree atomic.Pointer[TraceContext]
 	// cause is the active wear-attribution cause (see PushCause); the
 	// flash layer charges every program and erase against it.
-	cause atomic.Pointer[Cause]
+	// causeRestore caches one restore closure per possible previous
+	// cause (index 0 is "none"), built once on first push.
+	cause        atomic.Pointer[Cause]
+	causeOnce    sync.Once
+	causeReady   atomic.Bool
+	causeRestore [len(causeInterned) + 1]func()
 	// flight is the attached flight recorder, if any (SetFlightRecorder);
 	// subsystems that witness an incident (power-cut remount) dump
 	// through it without knowing who configured it.
@@ -451,15 +459,21 @@ func (o *Observer) Gauge(name string, labels Labels) *Gauge {
 	return NewGauge(name, labels)
 }
 
-// GaugeFunc registers a read-through gauge (see Registry.GaugeFunc); a
-// no-op standalone gauge without an observer.
+// Exports reports whether metrics registered on this observer reach a
+// registry. Construction-heavy layers consult it to skip building
+// read-through gauges nothing can ever collect (the flash wear surface
+// alone registers a hundred of them per device).
+func (o *Observer) Exports() bool { return o != nil && o.Registry != nil }
+
+// GaugeFunc registers a read-through gauge (see Registry.GaugeFunc).
+// Without a registry it returns nil — a nil *Gauge is a documented
+// no-op, and a standalone read-through gauge could never be collected
+// anyway, so there is nothing to build.
 func (o *Observer) GaugeFunc(name string, labels Labels, fn func() float64) *Gauge {
 	if o != nil && o.Registry != nil {
 		return o.Registry.GaugeFunc(name, labels, fn)
 	}
-	g := NewGauge(name, labels)
-	g.setFunc(fn)
-	return g
+	return nil
 }
 
 // Histogram returns a per-instance histogram chained to the registry

@@ -59,6 +59,10 @@ type driverClient struct {
 	// it is the previous completion plus think time.
 	next sim.Time
 	done bool
+	// payBuf is the client's reusable write-payload buffer; the server
+	// copies Request.Data into the write buffer before Do returns, so
+	// reusing it between ops is safe.
+	payBuf []byte
 }
 
 func (c *driverClient) load(now sim.Time) {
@@ -121,7 +125,8 @@ func RunWorkload(srv *Server, cfg workload.Config) (RunStats, error) {
 		case workload.Read:
 			req.Kind, req.Offset, req.Size = OpGet, op.Offset, int64(op.Size)
 		case workload.Write:
-			req.Kind, req.Offset, req.Data = OpPut, op.Offset, payload(op)
+			pick.payBuf = op.Payload(pick.payBuf)
+			req.Kind, req.Offset, req.Data = OpPut, op.Offset, pick.payBuf
 		case workload.Truncate:
 			req.Kind, req.Size = OpTruncate, int64(op.Size)
 		case workload.Delete:
@@ -153,15 +158,4 @@ func RunWorkload(srv *Server, cfg workload.Config) (RunStats, error) {
 	}
 	st.Elapsed = srv.b.Clock.Now().Sub(start)
 	return st, nil
-}
-
-// payload derives a deterministic write body from the op's identity, so
-// reruns and remounts can validate content without storing it.
-func payload(op workload.Op) []byte {
-	b := make([]byte, op.Size)
-	seed := byte(op.Key*131 + uint64(op.Client)*31 + uint64(op.Seq))
-	for i := range b {
-		b[i] = seed + byte(i)
-	}
-	return b
 }

@@ -32,6 +32,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"ssmobile/internal/fs"
@@ -184,14 +185,17 @@ type Server struct {
 	notFound  *obs.Counter
 	batched   *obs.Counter
 	shedGauge *obs.Gauge
-	lat       map[OpKind]*obs.Histogram
+	// lat and breakdown are handle arrays resolved once at construction
+	// (indexed by OpKind and by obs.BreakdownStages order respectively)
+	// so the per-request hot path never touches a map.
+	lat [OpSync + 1]*obs.Histogram
 	// obs is the resolved observer request trace contexts install on;
 	// breakdown holds one latency-attribution histogram per stage, fed
 	// from each completed request's trace context (zeros included, so a
 	// stage's quantiles are over ALL requests, not just the stalled
 	// ones). shedEngages counts admission false→true transitions.
 	obs         *obs.Observer
-	breakdown   map[string]*obs.Histogram
+	breakdown   []*obs.Histogram
 	shedEngages *obs.Counter
 }
 
@@ -209,7 +213,6 @@ func New(b Backend, cfg Config) (*Server, error) {
 		shed:      o.Counter("requests_total", obs.Labels{"layer": "server", "result": "shed"}),
 		notFound:  o.Counter("requests_total", obs.Labels{"layer": "server", "result": "notfound"}),
 		batched:   o.Counter("batched_syncs_total", obs.Labels{"layer": "server"}),
-		lat:       make(map[OpKind]*obs.Histogram),
 	}
 	for k := OpGet; k <= OpSync; k++ {
 		s.lat[k] = o.Histogram("request_latency_ns", obs.Labels{"layer": "server", "op": k.String()})
@@ -217,9 +220,9 @@ func New(b Backend, cfg Config) (*Server, error) {
 	s.shedGauge = o.Gauge("shedding", obs.Labels{"layer": "server"})
 	s.obs = o
 	s.shedEngages = o.Counter("shed_engage_total", obs.Labels{"layer": "server"})
-	s.breakdown = make(map[string]*obs.Histogram, len(obs.BreakdownStages))
-	for _, stage := range obs.BreakdownStages {
-		s.breakdown[stage] = o.Histogram("serve_latency_breakdown", obs.Labels{"layer": "server", "stage": stage})
+	s.breakdown = make([]*obs.Histogram, len(obs.BreakdownStages))
+	for i, stage := range obs.BreakdownStages {
+		s.breakdown[i] = o.Histogram("serve_latency_breakdown", obs.Labels{"layer": "server", "stage": stage})
 	}
 	return s, nil
 }
@@ -230,7 +233,12 @@ func New(b Backend, cfg Config) (*Server, error) {
 // accumulate when the observer traces requests (it has a Tracer); an
 // untraced server leaves them empty.
 func (s *Server) BreakdownSim(stage string) *sim.Histogram {
-	return s.breakdown[stage].Sim()
+	for i, name := range obs.BreakdownStages {
+		if name == stage {
+			return s.breakdown[i].Sim()
+		}
+	}
+	return nil
 }
 
 // Session scopes requests to one tenant's directory.
@@ -238,6 +246,16 @@ type Session struct {
 	s      *Server
 	tenant string
 	dir    string
+	// paths interns object-key → path strings so repeated requests for
+	// the same key never re-format; nfErrs interns the matching not-found
+	// errors (misses on deleted objects are steady-state traffic, and a
+	// freshly formatted error per miss was a measurable hot-path
+	// allocation); getBuf is the session's reusable Get payload buffer
+	// (Response.Data is documented as borrowed). All are only touched
+	// under the server mutex, which serialises every Do.
+	paths  map[uint64]string
+	nfErrs map[uint64]error
+	getBuf []byte
 }
 
 // Open starts (or resumes) a tenant session, creating its directory.
@@ -254,7 +272,11 @@ func (s *Server) Open(tenant string) (*Session, error) {
 	if err := s.b.FS.MkdirAll(dir); err != nil {
 		return nil, err
 	}
-	return &Session{s: s, tenant: tenant, dir: dir}, nil
+	return &Session{
+		s: s, tenant: tenant, dir: dir,
+		paths:  make(map[uint64]string),
+		nfErrs: make(map[uint64]error),
+	}, nil
 }
 
 func validTenant(t string) bool {
@@ -272,7 +294,24 @@ func validTenant(t string) bool {
 func (sess *Session) Tenant() string { return sess.tenant }
 
 func (sess *Session) path(key uint64) string {
-	return fmt.Sprintf("%s/o%d", sess.dir, key)
+	if p, ok := sess.paths[key]; ok {
+		return p
+	}
+	p := sess.dir + "/o" + strconv.FormatUint(key, 10)
+	sess.paths[key] = p
+	return p
+}
+
+// notFound returns the session's interned not-found error for the key —
+// byte-identical to fmt.Errorf("%w: %s", ErrNotFound, path) and still
+// unwrapping to ErrNotFound, without re-formatting on every miss.
+func (sess *Session) notFound(key uint64, path string) error {
+	if err, ok := sess.nfErrs[key]; ok {
+		return err
+	}
+	err := fmt.Errorf("%w: %s", ErrNotFound, path)
+	sess.nfErrs[key] = err
+	return err
 }
 
 // Do serves one request: it advances virtual time to the request's
@@ -369,8 +408,8 @@ func (s *Server) observeBreakdown(tc *obs.TraceContext, bd obs.Breakdown) {
 	if tc == nil {
 		return
 	}
-	for _, stage := range obs.BreakdownStages {
-		s.breakdown[stage].ObserveDuration(bd.Stage(stage))
+	for i, stage := range obs.BreakdownStages {
+		s.breakdown[i].ObserveDuration(bd.Stage(stage))
 	}
 }
 
@@ -431,9 +470,12 @@ func (s *Server) doGet(sess *Session, req Request) (Response, error) {
 	}
 	p := sess.path(req.Key)
 	if !s.b.FS.Exists(p) {
-		return Response{}, fmt.Errorf("%w: %s", ErrNotFound, p)
+		return Response{}, sess.notFound(req.Key, p)
 	}
-	buf := make([]byte, req.Size)
+	if int64(cap(sess.getBuf)) < req.Size {
+		sess.getBuf = make([]byte, req.Size)
+	}
+	buf := sess.getBuf[:req.Size]
 	n, err := s.b.FS.ReadAt(p, req.Offset, buf)
 	if err != nil {
 		return Response{}, err
@@ -464,7 +506,7 @@ func (s *Server) doTruncate(sess *Session, req Request) (Response, error) {
 	}
 	p := sess.path(req.Key)
 	if !s.b.FS.Exists(p) {
-		return Response{}, fmt.Errorf("%w: %s", ErrNotFound, p)
+		return Response{}, sess.notFound(req.Key, p)
 	}
 	if err := s.b.FS.Truncate(p, req.Size); err != nil {
 		return Response{}, err

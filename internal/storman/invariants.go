@@ -69,13 +69,13 @@ func (m *Manager) CheckInvariants() error {
 				return fmt.Errorf("DRAM page %d owned by both %+v and %+v", loc.dramPage, prev, key)
 			}
 			dramOwner[loc.dramPage] = key
-			if (loc.lruElem == nil) != (loc.fifoElem == nil) {
+			if loc.links[lruLink].queued != loc.links[fifoLink].queued {
 				return fmt.Errorf("block %+v half-enqueued in the dirty lists", key)
 			}
-			if loc.lruElem != nil {
+			if loc.links[lruLink].queued {
 				dirty++
 			}
-		} else if loc.lruElem != nil || loc.fifoElem != nil {
+		} else if loc.links[lruLink].queued || loc.links[fifoLink].queued {
 			return fmt.Errorf("flash-resident block %+v still in the dirty lists", key)
 		}
 		if loc.lpn >= 0 {
@@ -132,8 +132,7 @@ func (m *Manager) CheckInvariants() error {
 	if queued != dirty {
 		return fmt.Errorf("%d blocks queued dirty, %d marked dirty", queued, dirty)
 	}
-	for el := m.writeOrder.Front(); el != nil; el = el.Next() {
-		loc := el.Value.(*blockLoc)
+	for loc := m.writeOrder.Front(); loc != nil; loc = m.writeOrder.Next(loc) {
 		if m.table[loc.key] != loc {
 			return fmt.Errorf("dirty list holds dropped block %+v", loc.key)
 		}

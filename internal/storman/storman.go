@@ -25,7 +25,6 @@
 package storman
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"sort"
@@ -105,11 +104,90 @@ type blockLoc struct {
 	lpn        int64 // -1 if not in flash
 	dirtySince sim.Time
 	lastWrite  sim.Time
-	lruElem    *list.Element // in writeOrder while dirty in DRAM
-	fifoElem   *list.Element // in dirtyOrder while dirty in DRAM
+	// links thread the loc onto the dirty lists (writeOrder, dirtyOrder)
+	// intrusively, so queueing a dirty block never allocates.
+	links [2]locLinks
 }
 
 func (l *blockLoc) inDRAM() bool { return l.dramPage >= 0 }
+
+// Link-pair indexes into blockLoc.links.
+const (
+	lruLink  = iota // writeOrder: LRW order of dirty DRAM blocks
+	fifoLink        // dirtyOrder: dirty-age order
+)
+
+type locLinks struct {
+	prev, next *blockLoc
+	queued     bool
+}
+
+// locList is an intrusive doubly-linked list of blockLocs threading the
+// link pair selected by idx. It replaces container/list on the dirty
+// lists: membership is a flag on the loc, and push/remove touch only
+// existing nodes.
+type locList struct {
+	head, tail *blockLoc
+	idx        int
+	n          int
+}
+
+func (l *locList) Front() *blockLoc { return l.head }
+
+func (l *locList) Next(loc *blockLoc) *blockLoc { return loc.links[l.idx].next }
+
+func (l *locList) Len() int { return l.n }
+
+func (l *locList) Queued(loc *blockLoc) bool { return loc.links[l.idx].queued }
+
+func (l *locList) PushBack(loc *blockLoc) {
+	lk := &loc.links[l.idx]
+	lk.prev, lk.next, lk.queued = l.tail, nil, true
+	if l.tail != nil {
+		l.tail.links[l.idx].next = loc
+	} else {
+		l.head = loc
+	}
+	l.tail = loc
+	l.n++
+}
+
+func (l *locList) Remove(loc *blockLoc) {
+	lk := &loc.links[l.idx]
+	if !lk.queued {
+		return
+	}
+	if lk.prev != nil {
+		lk.prev.links[l.idx].next = lk.next
+	} else {
+		l.head = lk.next
+	}
+	if lk.next != nil {
+		lk.next.links[l.idx].prev = lk.prev
+	} else {
+		l.tail = lk.prev
+	}
+	lk.prev, lk.next, lk.queued = nil, nil, false
+	l.n--
+}
+
+func (l *locList) MoveToBack(loc *blockLoc) {
+	if l.tail == loc {
+		return
+	}
+	l.Remove(loc)
+	l.PushBack(loc)
+}
+
+// Init empties the list, clearing every member's links.
+func (l *locList) Init() {
+	for loc := l.head; loc != nil; {
+		next := loc.links[l.idx].next
+		loc.links[l.idx] = locLinks{}
+		loc = next
+	}
+	l.head, l.tail, l.n = nil, nil, 0
+}
 
 // Manager is the physical storage manager. Not safe for concurrent use.
 type Manager struct {
@@ -126,8 +204,30 @@ type Manager struct {
 
 	freeLPN []int64
 
-	writeOrder *list.List // LRW order of dirty DRAM blocks
-	dirtyOrder *list.List // dirty-age order
+	writeOrder locList // LRW order of dirty DRAM blocks
+	dirtyOrder locList // dirty-age order
+
+	// Reusable hot-path scratch. The manager is single-threaded; each
+	// buffer serves one non-nesting code path (migrate can run inside the
+	// copy-on-write path via eviction, so cowBuf and migBuf are distinct).
+	migBuf  []byte
+	cowBuf  []byte
+	readBuf []byte
+	// locFree recycles blockLocs and freeMaps recycles emptied per-object
+	// maps, so the churn of create/delete cycles settles into reuse.
+	locFree    []*blockLoc
+	freeMaps   []map[int64]*blockLoc
+	orderBlock []*blockLoc // blocksInOrder scratch
+	// maxObjBlocks is the largest per-object block count seen; fresh
+	// per-object maps are pre-sized with it (see insert).
+	maxObjBlocks int
+
+	// Batched-submission accounting: inside a beginBatch/endBatch window
+	// (sync, object sync, daemon pass) the per-block flush counters
+	// accumulate here and fold into the shared counters once.
+	batching     bool
+	batchFlushed int64
+	batchDaemon  int64
 
 	obs                     *obs.Observer
 	hostWritten, hostRead   *obs.Counter
@@ -154,15 +254,19 @@ func New(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Mana
 	o := obs.Or(cfg.Obs)
 	lbl := obs.Labels{"layer": "storman"}
 	m := &Manager{
-		cfg:               cfg,
-		clock:             clock,
-		dram:              dramDev,
-		fl:                fl,
-		table:             make(map[Key]*blockLoc),
+		cfg:   cfg,
+		clock: clock,
+		dram:  dramDev,
+		fl:    fl,
+		// Every placed block is DRAM-resident (at most totalPages) or
+		// flash-resident (at most the device's logical pages), so the
+		// table's final size is known now; pre-sizing trades one upfront
+		// allocation for all the incremental rehash growth.
+		table:             make(map[Key]*blockLoc, int(cfg.DRAMBytes/int64(cfg.BlockBytes))+int(fl.LogicalPages())),
 		byObject:          make(map[uint64]map[int64]*blockLoc),
 		totalPages:        int(cfg.DRAMBytes / int64(cfg.BlockBytes)),
-		writeOrder:        list.New(),
-		dirtyOrder:        list.New(),
+		writeOrder:        locList{idx: lruLink},
+		dirtyOrder:        locList{idx: fifoLink},
 		obs:               o,
 		hostWritten:       o.Counter("host_bytes_total", obs.Labels{"layer": "storman", "op": "write"}),
 		hostRead:          o.Counter("host_bytes_total", obs.Labels{"layer": "storman", "op": "read"}),
@@ -218,10 +322,21 @@ func (m *Manager) insert(loc *blockLoc) {
 	m.table[loc.key] = loc
 	blocks := m.byObject[loc.key.Object]
 	if blocks == nil {
-		blocks = make(map[int64]*blockLoc)
+		if n := len(m.freeMaps); n > 0 {
+			blocks = m.freeMaps[n-1]
+			m.freeMaps = m.freeMaps[:n-1]
+		} else {
+			// Size fresh maps to the largest per-object block count seen,
+			// so same-shaped objects skip the incremental rehash growth
+			// (recycled maps keep their capacity already).
+			blocks = make(map[int64]*blockLoc, m.maxObjBlocks)
+		}
 		m.byObject[loc.key.Object] = blocks
 	}
 	blocks[loc.key.Block] = loc
+	if len(blocks) > m.maxObjBlocks {
+		m.maxObjBlocks = len(blocks)
+	}
 }
 
 func (m *Manager) remove(loc *blockLoc) {
@@ -230,8 +345,30 @@ func (m *Manager) remove(loc *blockLoc) {
 		delete(blocks, loc.key.Block)
 		if len(blocks) == 0 {
 			delete(m.byObject, loc.key.Object)
+			m.freeMaps = append(m.freeMaps, blocks)
 		}
 	}
+	// The loc is fully reset before it goes back on the free list: a
+	// recycled loc must not leak a stale key, flash page or list link.
+	*loc = blockLoc{}
+	m.locFree = append(m.locFree, loc)
+}
+
+// newLoc returns a zeroed blockLoc, reusing a recycled one when
+// possible. Fresh locs come from slabs: most locs live as long as their
+// block (deletes are rare), so slab allocation amortises the per-block
+// cost that dominates a growing table.
+func (m *Manager) newLoc() *blockLoc {
+	if n := len(m.locFree); n > 0 {
+		loc := m.locFree[n-1]
+		m.locFree = m.locFree[:n-1]
+		return loc
+	}
+	slab := make([]blockLoc, 64)
+	for i := len(slab) - 1; i > 0; i-- {
+		m.locFree = append(m.locFree, &slab[i])
+	}
+	return &slab[0]
 }
 
 // enqueueDirty puts the block on the dirty lists.
@@ -239,20 +376,14 @@ func (m *Manager) enqueueDirty(loc *blockLoc) {
 	now := m.clock.Now()
 	loc.dirtySince = now
 	loc.lastWrite = now
-	loc.lruElem = m.writeOrder.PushBack(loc)
-	loc.fifoElem = m.dirtyOrder.PushBack(loc)
+	m.writeOrder.PushBack(loc)
+	m.dirtyOrder.PushBack(loc)
 }
 
 // dequeueDirty removes the block from the dirty lists.
 func (m *Manager) dequeueDirty(loc *blockLoc) {
-	if loc.lruElem != nil {
-		m.writeOrder.Remove(loc.lruElem)
-		loc.lruElem = nil
-	}
-	if loc.fifoElem != nil {
-		m.dirtyOrder.Remove(loc.fifoElem)
-		loc.fifoElem = nil
-	}
+	m.writeOrder.Remove(loc)
+	m.dirtyOrder.Remove(loc)
 }
 
 // allocDRAMPage returns a free page, evicting the least recently written
@@ -263,12 +394,12 @@ func (m *Manager) allocDRAMPage() (int, error) {
 		m.freeDRAM = m.freeDRAM[:n-1]
 		return p, nil
 	}
-	el := m.writeOrder.Front()
-	if el == nil {
+	loc := m.writeOrder.Front()
+	if loc == nil {
 		return 0, ErrNoDRAM
 	}
 	m.evictions.Inc()
-	if err := m.migrateToFlash(el.Value.(*blockLoc)); err != nil {
+	if err := m.migrateToFlash(loc); err != nil {
 		return 0, err
 	}
 	return m.allocDRAMPage()
@@ -286,7 +417,10 @@ func (m *Manager) migrateToFlash(loc *blockLoc) (err error) {
 	// the residue after the nested device spans claim their own stages.
 	sp := m.obs.StageSpan(m.clock, m.dram.Meter(), "storman", "migrate", obs.StageFlush)
 	defer func() { sp.End(int64(loc.size), err) }()
-	buf := make([]byte, m.cfg.BlockBytes)
+	if cap(m.migBuf) < m.cfg.BlockBytes {
+		m.migBuf = make([]byte, m.cfg.BlockBytes)
+	}
+	buf := m.migBuf[:m.cfg.BlockBytes]
 	if _, err := m.dram.Read(m.pageAddr(loc.dramPage), buf[:loc.size]); err != nil {
 		return err
 	}
@@ -307,7 +441,11 @@ func (m *Manager) migrateToFlash(loc *blockLoc) (err error) {
 	if err := m.fl.WritePageTagged(lpn, buf, encodeTag(loc.key)); err != nil {
 		return err
 	}
-	m.flushed.Add(int64(loc.size))
+	if m.batching {
+		m.batchFlushed += int64(loc.size)
+	} else {
+		m.flushed.Add(int64(loc.size))
+	}
 	m.freeDRAM = append(m.freeDRAM, loc.dramPage)
 	loc.dramPage = -1
 	loc.lpn = lpn
@@ -337,8 +475,8 @@ func (m *Manager) WriteBlock(key Key, data []byte) (err error) {
 			loc.size = len(data)
 		}
 		loc.lastWrite = m.clock.Now()
-		if loc.lruElem != nil {
-			m.writeOrder.MoveToBack(loc.lruElem)
+		if m.writeOrder.Queued(loc) {
+			m.writeOrder.MoveToBack(loc)
 		} else {
 			// Was clean in DRAM (just copied on write); mark dirty.
 			m.enqueueDirty(loc)
@@ -351,7 +489,10 @@ func (m *Manager) WriteBlock(key Key, data []byte) (err error) {
 		// is flushed over it — after a power failure it is the version
 		// that survives.
 		m.cows.Inc()
-		old := make([]byte, m.cfg.BlockBytes)
+		if cap(m.cowBuf) < m.cfg.BlockBytes {
+			m.cowBuf = make([]byte, m.cfg.BlockBytes)
+		}
+		old := m.cowBuf[:m.cfg.BlockBytes]
 		if err := m.fl.ReadPage(loc.lpn, old); err != nil {
 			return err
 		}
@@ -380,7 +521,8 @@ func (m *Manager) WriteBlock(key Key, data []byte) (err error) {
 		if _, err := m.dram.Write(m.pageAddr(page), data); err != nil {
 			return err
 		}
-		loc = &blockLoc{key: key, size: len(data), dramPage: page, lpn: -1}
+		loc = m.newLoc()
+		loc.key, loc.size, loc.dramPage, loc.lpn = key, len(data), page, -1
 		m.insert(loc)
 		m.enqueueDirty(loc)
 		return nil
@@ -408,7 +550,10 @@ func (m *Manager) ReadBlock(key Key, buf []byte) (read int, err error) {
 		}
 	} else {
 		m.flashReads.Inc()
-		page := make([]byte, m.cfg.BlockBytes)
+		if cap(m.readBuf) < m.cfg.BlockBytes {
+			m.readBuf = make([]byte, m.cfg.BlockBytes)
+		}
+		page := m.readBuf[:m.cfg.BlockBytes]
 		if err := m.fl.ReadPage(loc.lpn, page); err != nil {
 			return 0, err
 		}
@@ -447,13 +592,20 @@ func (m *Manager) DeleteObject(object uint64) error {
 // operations (delete, fsync) must touch storage in a fixed order — Go's
 // randomized map iteration would otherwise reorder frees and migrations
 // between runs, making op traces and flash layout differ run to run.
+// The returned slice is the manager's scratch, valid until the next call;
+// it is sorted by hand because sort.Slice allocates its closure per call.
 func (m *Manager) blocksInOrder(object uint64) []*blockLoc {
 	blocks := m.byObject[object]
-	out := make([]*blockLoc, 0, len(blocks))
+	out := m.orderBlock[:0]
 	for _, loc := range blocks {
 		out = append(out, loc)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key.Block < out[j].key.Block })
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].key.Block < out[j-1].key.Block; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	m.orderBlock = out
 	return out
 }
 
@@ -532,16 +684,16 @@ func (m *Manager) Tick() error {
 func (m *Manager) TickDaemon() error {
 	if m.cfg.WriteBackDelay > 0 {
 		now := m.clock.Now()
+		defer m.endBatch(m.beginBatch())
 		for {
-			el := m.dirtyOrder.Front()
-			if el == nil {
+			loc := m.dirtyOrder.Front()
+			if loc == nil {
 				break
 			}
-			loc := el.Value.(*blockLoc)
 			if now.Sub(loc.dirtySince) < m.cfg.WriteBackDelay {
 				break
 			}
-			m.daemon.Inc()
+			m.batchDaemon++
 			if err := m.migrateToFlash(loc); err != nil {
 				return err
 			}
@@ -550,9 +702,40 @@ func (m *Manager) TickDaemon() error {
 	return nil
 }
 
+// beginBatch opens a batched-submission window: per-block flush and
+// daemon counts accumulate locally and fold into the shared counters in
+// one add each at endBatch. Per-block spans are untouched — the batch
+// seam amortises only metric bookkeeping, never the causal record — and
+// nothing reads the counters mid-window in the single-threaded
+// simulation, so the folded totals are indistinguishable from per-block
+// adds. Nested windows fold at the outermost close.
+func (m *Manager) beginBatch() bool {
+	if m.batching {
+		return false
+	}
+	m.batching = true
+	return true
+}
+
+func (m *Manager) endBatch(outermost bool) {
+	if !outermost {
+		return
+	}
+	m.batching = false
+	if m.batchFlushed != 0 {
+		m.flushed.Add(m.batchFlushed)
+		m.batchFlushed = 0
+	}
+	if m.batchDaemon != 0 {
+		m.daemon.Add(m.batchDaemon)
+		m.batchDaemon = 0
+	}
+}
+
 // SyncObject migrates the object's dirty blocks to flash — an fsync of
 // one file, used by the file system to checkpoint its metadata object.
 func (m *Manager) SyncObject(object uint64) error {
+	defer m.endBatch(m.beginBatch())
 	for _, loc := range m.blocksInOrder(object) {
 		if loc.inDRAM() {
 			if err := m.migrateToFlash(loc); err != nil {
@@ -596,21 +779,22 @@ func (m *Manager) PowerFailRecover() (lostBytes int64) {
 			// Revert to the flushed version.
 			loc.size = loc.flashSize
 			loc.dramPage = -1
-			loc.lruElem, loc.fifoElem = nil, nil
 		} else {
 			gone = append(gone, loc)
 		}
 	}
+	// Empty the dirty lists before recycling the gone locs: remove resets
+	// the loc wholesale, which would break the lists' link threading.
+	m.writeOrder.Init()
+	m.dirtyOrder.Init()
 	for _, loc := range gone {
 		m.remove(loc)
 	}
-	// Rebuild the DRAM free pool and dirty lists from scratch.
+	// Rebuild the DRAM free pool from scratch.
 	m.freeDRAM = m.freeDRAM[:0]
 	for p := m.totalPages - 1; p >= 0; p-- {
 		m.freeDRAM = append(m.freeDRAM, p)
 	}
-	m.writeOrder.Init()
-	m.dirtyOrder.Init()
 	return lostBytes
 }
 
@@ -621,12 +805,13 @@ func (m *Manager) PowerFailRecover() (lostBytes int64) {
 // migrations keep the ambient cause (host-write by default).
 func (m *Manager) Sync() error {
 	defer m.obs.PushCause(obs.CauseGroupCommitFlush)()
+	defer m.endBatch(m.beginBatch())
 	for {
-		el := m.dirtyOrder.Front()
-		if el == nil {
+		loc := m.dirtyOrder.Front()
+		if loc == nil {
 			return nil
 		}
-		if err := m.migrateToFlash(el.Value.(*blockLoc)); err != nil {
+		if err := m.migrateToFlash(loc); err != nil {
 			return err
 		}
 	}

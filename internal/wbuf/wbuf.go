@@ -22,10 +22,8 @@
 package wbuf
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
-	"sort"
 
 	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
@@ -124,8 +122,67 @@ type entry struct {
 	data       []byte
 	dirtySince sim.Time
 	lastWrite  sim.Time
-	lruElem    *list.Element // position in writeOrder (LRW order)
-	fifoElem   *list.Element // position in dirtyOrder (dirty-age order)
+	// links thread the entry onto writeOrder (LRW) and dirtyOrder
+	// (dirty-age) intrusively, so queueing never allocates.
+	links [2]entryLinks
+}
+
+// Link-pair indexes into entry.links.
+const (
+	lruLink  = iota // writeOrder: front = least recently written
+	fifoLink        // dirtyOrder: front = dirty longest
+)
+
+type entryLinks struct {
+	prev, next *entry
+	queued     bool
+}
+
+// entryList is an intrusive doubly-linked list of entries threading the
+// link pair selected by idx; it replaces container/list so list
+// housekeeping touches only existing nodes.
+type entryList struct {
+	head, tail *entry
+	idx        int
+}
+
+func (l *entryList) Front() *entry { return l.head }
+
+func (l *entryList) PushBack(e *entry) {
+	lk := &e.links[l.idx]
+	lk.prev, lk.next, lk.queued = l.tail, nil, true
+	if l.tail != nil {
+		l.tail.links[l.idx].next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+}
+
+func (l *entryList) Remove(e *entry) {
+	lk := &e.links[l.idx]
+	if !lk.queued {
+		return
+	}
+	if lk.prev != nil {
+		lk.prev.links[l.idx].next = lk.next
+	} else {
+		l.head = lk.next
+	}
+	if lk.next != nil {
+		lk.next.links[l.idx].prev = lk.prev
+	} else {
+		l.tail = lk.prev
+	}
+	lk.prev, lk.next, lk.queued = nil, nil, false
+}
+
+func (l *entryList) MoveToBack(e *entry) {
+	if l.tail == e {
+		return
+	}
+	l.Remove(e)
+	l.PushBack(e)
 }
 
 // Buffer is the write buffer. Not safe for concurrent use.
@@ -136,9 +193,16 @@ type Buffer struct {
 
 	entries    map[Key]*entry
 	byObject   map[uint64]map[int64]*entry
-	writeOrder *list.List // front = least recently written
-	dirtyOrder *list.List // front = dirty longest
+	writeOrder entryList // front = least recently written
+	dirtyOrder entryList // front = dirty longest
 	size       int64
+
+	// entryFree recycles dropped entries — including their data capacity —
+	// and freeMaps recycles emptied per-object maps; ordered is the
+	// InvalidateObject scratch.
+	entryFree []*entry
+	freeMaps  []map[int64]*entry
+	ordered   []*entry
 
 	obs                     *obs.Observer
 	hostBytes, flushedBytes *obs.Counter
@@ -165,8 +229,8 @@ func New(cfg Config, clock *sim.Clock, sink Sink) (*Buffer, error) {
 		sink:              sink,
 		entries:           make(map[Key]*entry),
 		byObject:          make(map[uint64]map[int64]*entry),
-		writeOrder:        list.New(),
-		dirtyOrder:        list.New(),
+		writeOrder:        entryList{idx: lruLink},
+		dirtyOrder:        entryList{idx: fifoLink},
 		obs:               o,
 		hostBytes:         o.Counter("host_bytes_total", obs.Labels{"layer": "wbuf"}),
 		flushedBytes:      o.Counter("flushed_bytes_total", obs.Labels{"layer": "wbuf"}),
@@ -222,22 +286,26 @@ func (b *Buffer) Write(key Key, data []byte) error {
 		b.size += int64(len(data)) - int64(len(e.data))
 		e.data = append(e.data[:0], data...)
 		e.lastWrite = now
-		b.writeOrder.MoveToBack(e.lruElem)
+		b.writeOrder.MoveToBack(e)
 		return b.ensureCapacity()
 	}
 
-	e := &entry{
-		key:        key,
-		data:       append([]byte(nil), data...),
-		dirtySince: now,
-		lastWrite:  now,
-	}
-	e.lruElem = b.writeOrder.PushBack(e)
-	e.fifoElem = b.dirtyOrder.PushBack(e)
+	e := b.newEntry()
+	e.key = key
+	e.data = append(e.data[:0], data...)
+	e.dirtySince = now
+	e.lastWrite = now
+	b.writeOrder.PushBack(e)
+	b.dirtyOrder.PushBack(e)
 	b.entries[key] = e
 	blocks := b.byObject[key.Object]
 	if blocks == nil {
-		blocks = make(map[int64]*entry)
+		if n := len(b.freeMaps); n > 0 {
+			blocks = b.freeMaps[n-1]
+			b.freeMaps = b.freeMaps[:n-1]
+		} else {
+			blocks = make(map[int64]*entry)
+		}
 		b.byObject[key.Object] = blocks
 	}
 	blocks[key.Block] = e
@@ -245,8 +313,21 @@ func (b *Buffer) Write(key Key, data []byte) error {
 	return b.ensureCapacity()
 }
 
+// newEntry returns a reset entry, reusing a recycled one (and its data
+// capacity) when possible.
+func (b *Buffer) newEntry() *entry {
+	if n := len(b.entryFree); n > 0 {
+		e := b.entryFree[n-1]
+		b.entryFree = b.entryFree[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
 // Read returns the buffered data for key, if present. The returned slice
-// is the buffer's own copy; callers must not modify it.
+// is the buffer's own copy; callers must not modify it, and it is only
+// valid until the block leaves the buffer (flush or invalidation — the
+// backing array is recycled for later writes).
 func (b *Buffer) Read(key Key) ([]byte, bool) {
 	e, ok := b.entries[key]
 	if !ok {
@@ -260,12 +341,18 @@ func (b *Buffer) Read(key Key) ([]byte, bool) {
 func (b *Buffer) InvalidateObject(object uint64) {
 	blocks := b.byObject[object]
 	// Drop in block order, not map order, so the free list (and therefore
-	// every later allocation) is identical run to run.
-	ordered := make([]*entry, 0, len(blocks))
+	// every later allocation) is identical run to run. The scratch slice
+	// is reused and sorted by hand (sort.Slice allocates per call).
+	ordered := b.ordered[:0]
 	for _, e := range blocks {
 		ordered = append(ordered, e)
 	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].key.Block < ordered[j].key.Block })
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].key.Block < ordered[j-1].key.Block; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	b.ordered = ordered
 	for _, e := range ordered {
 		b.deleteAbsorbed.Add(int64(len(e.data)))
 		b.drop(e)
@@ -281,25 +368,34 @@ func (b *Buffer) InvalidateBlock(key Key) {
 	}
 }
 
-// drop removes the entry without flushing.
+// drop removes the entry without flushing and recycles it. The entry is
+// reset to zero state (keeping only its data capacity) so a recycled
+// entry can never leak a stale key, timestamps or list links.
 func (b *Buffer) drop(e *entry) {
 	delete(b.entries, e.key)
 	if blocks := b.byObject[e.key.Object]; blocks != nil {
 		delete(blocks, e.key.Block)
 		if len(blocks) == 0 {
 			delete(b.byObject, e.key.Object)
+			b.freeMaps = append(b.freeMaps, blocks)
 		}
 	}
-	b.writeOrder.Remove(e.lruElem)
-	b.dirtyOrder.Remove(e.fifoElem)
+	b.writeOrder.Remove(e)
+	b.dirtyOrder.Remove(e)
 	b.size -= int64(len(e.data))
+	data := e.data[:0]
+	*e = entry{data: data}
+	b.entryFree = append(b.entryFree, e)
 }
 
 // flush writes the entry to the sink and removes it.
 func (b *Buffer) flush(e *entry) (err error) {
+	// drop recycles the entry, so its size is captured up front for the
+	// deferred span close.
+	n := int64(len(e.data))
 	sp := b.obs.StageSpan(b.clock, nil, "wbuf", "flush", obs.StageFlush)
-	defer func() { sp.End(int64(len(e.data)), err) }()
-	b.flushedBytes.Add(int64(len(e.data)))
+	defer func() { sp.End(n, err) }()
+	b.flushedBytes.Add(n)
 	if err := b.sink.FlushBlock(e.key, e.data); err != nil {
 		return err
 	}
@@ -309,16 +405,10 @@ func (b *Buffer) flush(e *entry) (err error) {
 
 // victim picks the next entry to evict under the configured policy.
 func (b *Buffer) victim() *entry {
-	var el *list.Element
 	if b.cfg.Policy == EvictFIFO {
-		el = b.dirtyOrder.Front()
-	} else {
-		el = b.writeOrder.Front()
+		return b.dirtyOrder.Front()
 	}
-	if el == nil {
-		return nil
-	}
-	return el.Value.(*entry)
+	return b.writeOrder.Front()
 }
 
 func (b *Buffer) ensureCapacity() error {
@@ -344,11 +434,10 @@ func (b *Buffer) Tick() error {
 	}
 	now := b.clock.Now()
 	for {
-		el := b.dirtyOrder.Front()
-		if el == nil {
+		e := b.dirtyOrder.Front()
+		if e == nil {
 			return nil
 		}
-		e := el.Value.(*entry)
 		if now.Sub(e.dirtySince) < b.cfg.WriteBackDelay {
 			return nil
 		}
@@ -365,11 +454,11 @@ func (b *Buffer) Tick() error {
 func (b *Buffer) Sync() error {
 	defer b.obs.PushCause(obs.CauseGroupCommitFlush)()
 	for {
-		el := b.dirtyOrder.Front()
-		if el == nil {
+		e := b.dirtyOrder.Front()
+		if e == nil {
 			return nil
 		}
-		if err := b.flush(el.Value.(*entry)); err != nil {
+		if err := b.flush(e); err != nil {
 			return err
 		}
 	}

@@ -220,6 +220,23 @@ type Op struct {
 	Think sim.Duration
 }
 
+// Payload fills buf with the op's deterministic write body — a pure
+// function of the op's identity, so reruns and remounts can validate
+// content without storing it. buf's capacity is reused when it fits
+// (drivers keep one buffer per client and amortise the allocation to
+// the largest op in the stream); the filled prefix is returned.
+func (op Op) Payload(buf []byte) []byte {
+	if cap(buf) < op.Size {
+		buf = make([]byte, op.Size)
+	}
+	buf = buf[:op.Size]
+	seed := byte(op.Key*131 + uint64(op.Client)*31 + uint64(op.Seq))
+	for i := range buf {
+		buf[i] = seed + byte(i)
+	}
+	return buf
+}
+
 // Client generates one client's request stream. Not safe for concurrent
 // use; distinct Clients are fully independent and may be driven from
 // different goroutines.
