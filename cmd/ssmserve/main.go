@@ -17,6 +17,13 @@
 // -sync-window group-commit window, plus the usual -metrics and
 // -cpuprofile/-memprofile outputs.
 //
+// -nodes N (either subcommand) serves a cluster instead of one card:
+// N in-process nodes, each its own card stack, behind the consistent-hash
+// router (internal/cluster) — per-tenant/key placement, primary+replica
+// writes, node-local shed retry, and health-driven rebalancing. The size
+// flags apply to each node; the ops surface reflects node 0. See
+// DESIGN.md §13 and experiment E14 (ssmsim e14).
+//
 // smoke flags: -clients, -ops, -seed, -write ratio. CI runs smoke to
 // gate the server path: the run fails on any error other than the
 // typed overload shed.
@@ -43,6 +50,7 @@ import (
 	"sync"
 	"syscall"
 
+	"ssmobile/internal/cluster"
 	"ssmobile/internal/core"
 	"ssmobile/internal/flash"
 	"ssmobile/internal/obs"
@@ -53,6 +61,7 @@ import (
 )
 
 func main() {
+	nodeCount := flag.Int("nodes", 1, "cluster size: 1 serves a single card; N>1 shards tenants' keys over N card stacks by consistent hash, with primary+replica writes and health-driven rebalancing (size flags apply per node)")
 	dramMB := flag.Int64("dram", 8, "DRAM size in MB")
 	flashMB := flag.Int64("flash", 32, "flash size in MB")
 	bufferMB := flag.Int64("buffer", 2, "write-buffer region in MB")
@@ -90,10 +99,25 @@ func main() {
 	o := obs.New(0)
 	obs.SetDefault(o)
 
+	tcp, admin, mergeTelemetry, frObs, err := build(buildConfig{
+		nodes:  *nodeCount,
+		dramMB: *dramMB, flashMB: *flashMB, bufferMB: *bufferMB,
+		idleClean: *idleClean, high: *high, low: *low,
+		syncWindow: sim.D(*syncWindow),
+		obs:        o,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	// The flight recorder snapshots the recent span ring plus metrics on
 	// incidents (shed-engage, drain, power-cut remount) and on demand.
 	// Smoke provisions its own temporary directory when none is given so
-	// CI exercises the dump path unconditionally.
+	// CI exercises the dump path unconditionally. It records from frObs
+	// (the ambient observer, or node 0's private one in cluster mode —
+	// the same observer the ops surface is bound to) and is installed on
+	// both that observer and the default so the admin endpoint and the
+	// drain path each find it.
 	fdir := *flightDir
 	if fdir == "" && flag.Arg(0) == "smoke" {
 		tmp, err := os.MkdirTemp("", "ssmserve-flight-")
@@ -104,23 +128,15 @@ func main() {
 		fdir = tmp
 	}
 	if fdir != "" {
-		fr, err := obs.NewFlightRecorder(o, fdir, 0, 0)
+		fr, err := obs.NewFlightRecorder(frObs, fdir, 0, 0)
 		if err != nil {
 			fatal(err)
 		}
-		o.SetFlightRecorder(fr)
+		frObs.SetFlightRecorder(fr)
+		if frObs != o {
+			o.SetFlightRecorder(fr)
+		}
 	}
-
-	srv, tcp, err := build(buildConfig{
-		dramMB: *dramMB, flashMB: *flashMB, bufferMB: *bufferMB,
-		idleClean: *idleClean, high: *high, low: *low,
-		syncWindow: sim.D(*syncWindow),
-		obs:        o,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	admin := server.NewAdmin(srv, o)
 
 	var runErr error
 	switch flag.Arg(0) {
@@ -135,6 +151,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	mergeTelemetry()
 	if err := obs.DumpFiles(o, *metricsOut, "", ""); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmserve:", err)
 		if runErr == nil {
@@ -160,6 +177,7 @@ func fatal(err error) {
 }
 
 type buildConfig struct {
+	nodes                     int
 	dramMB, flashMB, bufferMB int64
 	idleClean                 int
 	high, low                 float64
@@ -167,36 +185,75 @@ type buildConfig struct {
 	obs                       *obs.Observer
 }
 
-// build assembles the solid-state stack and the service over it.
-func build(bc buildConfig) (*server.Server, *server.TCP, error) {
-	o := bc.obs
-	sys, err := core.NewSolidState(core.SolidStateConfig{
-		DRAMBytes:       bc.dramMB << 20,
-		FlashBytes:      bc.flashMB << 20,
-		BufferBytes:     bc.bufferMB << 20,
-		IdleCleanBlocks: bc.idleClean,
-	})
-	if err != nil {
-		return nil, nil, err
+// build assembles the service: a single server over one card stack, or
+// (nodes > 1) a consistent-hash cluster router over N of them. It
+// returns the TCP front end, the ops surface (in cluster mode bound to
+// node 0's server — each node has its own telemetry), a hook that
+// folds per-node telemetry into the ambient observer at exit, and the
+// observer the flight recorder should snapshot (the one the serving
+// spans actually land in).
+func build(bc buildConfig) (*server.TCP, *server.Admin, func(), *obs.Observer, error) {
+	if bc.nodes <= 1 {
+		o := bc.obs
+		sys, err := core.NewSolidState(core.SolidStateConfig{
+			DRAMBytes:       bc.dramMB << 20,
+			FlashBytes:      bc.flashMB << 20,
+			BufferBytes:     bc.bufferMB << 20,
+			IdleCleanBlocks: bc.idleClean,
+		})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		srv, err := server.New(server.Backend{
+			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+		}, server.Config{
+			HighWatermark:   bc.high,
+			LowWatermark:    bc.low,
+			SyncBatchWindow: bc.syncWindow,
+			OnShedEngage: func() {
+				// Capture the span ring the moment overload protection kicks
+				// in — the spans leading up to it are the interesting ones.
+				if fr := o.FlightRecorder(); fr != nil {
+					fr.Dump("shed-engage")
+				}
+			},
+		})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return server.NewTCP(srv), server.NewAdmin(srv, o), func() {}, o, nil
 	}
-	srv, err := server.New(server.Backend{
-		FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
-	}, server.Config{
-		HighWatermark:   bc.high,
-		LowWatermark:    bc.low,
-		SyncBatchWindow: bc.syncWindow,
-		OnShedEngage: func() {
-			// Capture the span ring the moment overload protection kicks
-			// in — the spans leading up to it are the interesting ones.
-			if fr := o.FlightRecorder(); fr != nil {
-				fr.Dump("shed-engage")
-			}
-		},
-	})
-	if err != nil {
-		return nil, nil, err
+
+	// Cluster mode: each node is a full card stack behind its own server,
+	// with a private observer so the router's health sweeps read per-card
+	// wear (the SMART report is meaningless over a mixed registry).
+	nodes := make([]*cluster.Node, bc.nodes)
+	privs := make([]*obs.Observer, bc.nodes)
+	for i := range nodes {
+		node, priv, err := core.NewClusterNode(core.ClusterNodeConfig{
+			Name: fmt.Sprintf("n%d", i),
+			System: core.SolidStateConfig{
+				DRAMBytes:       bc.dramMB << 20,
+				FlashBytes:      bc.flashMB << 20,
+				BufferBytes:     bc.bufferMB << 20,
+				IdleCleanBlocks: bc.idleClean,
+			},
+		})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		nodes[i], privs[i] = node, priv
 	}
-	return srv, server.NewTCP(srv), nil
+	cl, err := cluster.New(nodes, cluster.Config{})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	merge := func() {
+		for _, priv := range privs {
+			bc.obs.Merge(priv)
+		}
+	}
+	return server.NewTCP(cl), server.NewAdmin(nodes[0].Srv, privs[0]), merge, privs[0], nil
 }
 
 // serve listens until SIGINT/SIGTERM, then drains: in-flight requests

@@ -1,0 +1,770 @@
+// Package cluster is the router/placement tier over N in-process
+// ssmserve nodes — the scale-out layer the E12 saturation study calls
+// for: one simulated card saturates at ~32 open-loop clients, so serving
+// beyond that means sharding tenants' keys across many cards, each
+// behind its own internal/server instance with its own cleaner, write
+// buffer and admission controller.
+//
+// Three mechanisms make the tier a cluster rather than a load balancer:
+//
+//   - placement: a consistent-hash ring (virtual points per node) with a
+//     directory of per-key overrides — see placement.go;
+//   - replication: every write lands on the key's primary plus K
+//     replicas with sync-commit semantics matching the single node's
+//     group commit (a replicated write's latency is the slowest
+//     holder's, and sync fans out to every node so a tenant's data is
+//     stable everywhere it lives);
+//   - rebalancing: the router watches each node's SMART-style health
+//     report (flash.HealthFromSnapshot over the node's own metrics
+//     registry — the same pure function behind /debug/health) and, when
+//     a card ages toward its free-block margin, cordons the node and
+//     migrates its keys to healthier cards, deleting the moved objects
+//     so the aging card's cleaner gets its space back.
+//
+// Admission-control sheds stay node-local by design: a write shed by one
+// node's watermark controller is retried against the same node with
+// bounded virtual-time backoff (the idle gap is exactly what its cleaner
+// needs), and only surfaces to the caller if the node stays overloaded —
+// other nodes never inherit the overload, which E14 measures.
+//
+// The Cluster implements server.Service, so the TCP front end and the
+// deterministic N-way-merge workload driver (server.RunWorkload) run
+// against a cluster exactly as they run against one node. Everything is
+// virtual-time deterministic: requests are serialised under the cluster
+// mutex, placement is a pure function of (tenant, key, node names), and
+// migration sweeps iterate in sorted order, so a seeded workload yields
+// byte-identical results at any host parallelism.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ssmobile/internal/flash"
+	"ssmobile/internal/obs"
+	"ssmobile/internal/server"
+	"ssmobile/internal/sim"
+)
+
+// ErrUnavailable reports a request whose every holder is down — the
+// cluster equivalent of a dead disk. Callers should treat it as
+// retriable once nodes return.
+var ErrUnavailable = errors.New("cluster: no live holder for key")
+
+// Node is one ssmserve node: a server over its own card stack. The
+// caller (core's experiments, cmd/ssmserve) assembles the stack and
+// hands the cluster the pieces the router needs.
+type Node struct {
+	// Name identifies the node on the hash ring; it must be unique and
+	// stable (placement is a pure function of the name set).
+	Name string
+	// Srv is the node's server. Replaced by RestartNode.
+	Srv *server.Server
+	// Clock is the node's virtual clock (each node owns its stack's
+	// single-threaded simulation time).
+	Clock *sim.Clock
+	// Obs is the node's private observer; its registry carries the wear
+	// telemetry the router's health checks read. Required for
+	// rebalancing; a nil Obs (or one without a registry) disables health
+	// checks for the node.
+	Obs *obs.Observer
+	// Restart, if set, recovers the node after a kill — remounting the
+	// card as after a power failure (synced data survives, unsynced DRAM
+	// is lost) and returning a fresh server over the recovered stack.
+	Restart func() (*server.Server, error)
+}
+
+// Config parameterises the router.
+type Config struct {
+	// Replicas is the number of extra copies beyond the primary
+	// (default 1, capped at nodes-1; 0 on a single-node cluster).
+	Replicas int
+	// VirtualPoints per node on the hash ring (default 16).
+	VirtualPoints int
+	// RebalanceMargin is the free-block margin below which a node is
+	// cordoned and its keys migrated away (default 0.04); UncordonMargin
+	// re-admits it for new placements (default 2×RebalanceMargin —
+	// hysteresis, so placement does not flap).
+	RebalanceMargin, UncordonMargin float64
+	// RebalanceCheckEvery is the number of cluster requests between
+	// health sweeps (default 64).
+	RebalanceCheckEvery int
+	// ShedRetries bounds in-place retries of a write shed by a node's
+	// admission control; ShedBackoff is the virtual-time backoff before
+	// the first retry, doubling per attempt (defaults 2 and 50ms). The
+	// backoff is the point: the idle gap is cleaner time.
+	ShedRetries int
+	ShedBackoff sim.Duration
+}
+
+func (c Config) withDefaults(nodes int) Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > nodes-1 {
+		c.Replicas = nodes - 1
+	}
+	if c.VirtualPoints <= 0 {
+		c.VirtualPoints = 16
+	}
+	if c.RebalanceMargin <= 0 {
+		c.RebalanceMargin = 0.04
+	}
+	if c.UncordonMargin <= c.RebalanceMargin {
+		c.UncordonMargin = 2 * c.RebalanceMargin
+	}
+	if c.RebalanceCheckEvery <= 0 {
+		c.RebalanceCheckEvery = 64
+	}
+	if c.ShedRetries <= 0 {
+		c.ShedRetries = 2
+	}
+	if c.ShedBackoff <= 0 {
+		c.ShedBackoff = 50 * sim.Millisecond
+	}
+	return c
+}
+
+// Stats is the router's own accounting — logical requests, not the
+// per-node fan-out (node servers keep their own server.Stats).
+type Stats struct {
+	// Completed counts logical requests served; Shed the writes that
+	// stayed overloaded after retries; NotFound and BatchedSyncs as on a
+	// single node (a cluster sync is batched only if every node batched).
+	Completed, Shed, NotFound, BatchedSyncs int64
+	// ShedRetries counts in-place retries after a node-local shed;
+	// ReplicaSheds counts replica writes dropped because the replica
+	// stayed overloaded (the primary copy is intact — healed by the next
+	// full write or migration); SkippedReplicaWrites counts writes
+	// skipped because a holder was down.
+	ShedRetries, ReplicaSheds, SkippedReplicaWrites int64
+	// Rebalances counts cordon events; MigratedKeys the keys moved off
+	// cordoned nodes; HealedKeys the keys re-replicated back to the
+	// target copy count after a restart; ReadFailovers the reads served
+	// by a replica because the primary was down or missing the object.
+	Rebalances, MigratedKeys, HealedKeys, ReadFailovers int64
+}
+
+// entry is one written key's directory record.
+type entry struct {
+	holders []int // primary first
+	size    int64 // current object length upper bound, for migration reads
+}
+
+// Cluster routes requests across nodes. All methods are safe for
+// concurrent use; requests serialise on the cluster mutex (each node's
+// stack is a single-threaded simulation, and deterministic routing needs
+// a total order anyway).
+type Cluster struct {
+	mu       sync.Mutex
+	cfg      Config
+	nodes    []*Node
+	down     []bool
+	cordoned []bool
+	gen      []uint64 // bumped on restart; invalidates cached node sessions
+	ring     []ringPoint
+	dir      map[string]map[uint64]*entry
+	sessions map[string]*Session
+	opsSince int
+	st       Stats
+}
+
+// New builds a router over the given nodes.
+func New(nodes []*Node, cfg Config) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		if n == nil || n.Srv == nil || n.Clock == nil {
+			return nil, fmt.Errorf("cluster: node %d needs Srv and Clock", i)
+		}
+		if n.Name == "" {
+			n.Name = fmt.Sprintf("n%d", i)
+		}
+		names[i] = n.Name
+		for j := 0; j < i; j++ {
+			if names[j] == n.Name {
+				return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+			}
+		}
+	}
+	cfg = cfg.withDefaults(len(nodes))
+	return &Cluster{
+		cfg:      cfg,
+		nodes:    nodes,
+		down:     make([]bool, len(nodes)),
+		cordoned: make([]bool, len(nodes)),
+		gen:      make([]uint64, len(nodes)),
+		ring:     buildRing(names, cfg.VirtualPoints),
+		dir:      make(map[string]map[uint64]*entry),
+		sessions: make(map[string]*Session),
+	}, nil
+}
+
+// Nodes reports the node list (for CLIs and tests).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Session routes one tenant's requests. Obtain via OpenSession; safe
+// for concurrent use (requests serialise on the cluster mutex).
+type Session struct {
+	c      *Cluster
+	tenant string
+	sess   []server.RequestDoer
+	sgen   []uint64
+}
+
+// OpenSession starts (or resumes) a tenant session — the server.Service
+// entry point. Node sessions open lazily, only on nodes the tenant's
+// requests actually reach.
+func (c *Cluster) OpenSession(tenant string) (server.RequestDoer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sessions[tenant]; ok {
+		return s, nil
+	}
+	s := &Session{
+		c:      c,
+		tenant: tenant,
+		sess:   make([]server.RequestDoer, len(c.nodes)),
+		sgen:   make([]uint64, len(c.nodes)),
+	}
+	c.sessions[tenant] = s
+	return s, nil
+}
+
+// nodeSession returns the tenant's session on node i, opening (or
+// reopening after a restart) as needed. Caller holds c.mu.
+func (s *Session) nodeSession(i int) (server.RequestDoer, error) {
+	c := s.c
+	if s.sess[i] == nil || s.sgen[i] != c.gen[i] {
+		d, err := c.nodes[i].Srv.OpenSession(s.tenant)
+		if err != nil {
+			return nil, err
+		}
+		s.sess[i] = d
+		s.sgen[i] = c.gen[i]
+	}
+	return s.sess[i], nil
+}
+
+// Do routes one request: sync fans out to every live node, reads go to
+// the first live holder (failing over across replicas), and writes land
+// on every live holder with node-local shed retry.
+func (s *Session) Do(req server.Request) (server.Response, error) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opsSince++
+	if c.opsSince >= c.cfg.RebalanceCheckEvery {
+		c.opsSince = 0
+		c.checkHealth(req.Arrival)
+	}
+	switch req.Kind {
+	case server.OpSync:
+		return s.doSync(req)
+	case server.OpGet:
+		return s.doGet(req)
+	default:
+		return s.doWrite(req)
+	}
+}
+
+// doSync fans the sync to every live node in index order — a tenant's
+// keys may live anywhere, and the sync-commit contract is "stable
+// everywhere it lives". The cluster sync is batched only if every node
+// absorbed it into an earlier group commit; its latency is the slowest
+// node's (the commit is acknowledged when the last replica is stable).
+func (s *Session) doSync(req server.Request) (server.Response, error) {
+	c := s.c
+	var resp server.Response
+	live := 0
+	allBatched := true
+	for i := range c.nodes {
+		if c.down[i] {
+			continue
+		}
+		sess, err := s.nodeSession(i)
+		if err != nil {
+			return server.Response{}, err
+		}
+		r, err := sess.Do(req)
+		if err != nil {
+			return server.Response{}, err
+		}
+		live++
+		if !r.Batched {
+			allBatched = false
+		}
+		if r.Latency > resp.Latency {
+			resp.Latency = r.Latency
+		}
+	}
+	if live == 0 {
+		return server.Response{}, ErrUnavailable
+	}
+	resp.Batched = allBatched
+	if allBatched {
+		c.st.BatchedSyncs++
+	}
+	c.st.Completed++
+	return resp, nil
+}
+
+// doGet reads from the key's first live holder, failing over to the
+// next replica when the preferred one is down or (after a lossy
+// restart) no longer has the object.
+func (s *Session) doGet(req server.Request) (server.Response, error) {
+	c := s.c
+	holders := c.holdersFor(s.tenant, req.Key)
+	var lastErr error
+	tried := 0
+	for rank, h := range holders {
+		if c.down[h] {
+			continue
+		}
+		sess, err := s.nodeSession(h)
+		if err != nil {
+			return server.Response{}, err
+		}
+		r, err := sess.Do(req)
+		if err == nil {
+			if rank > 0 {
+				c.st.ReadFailovers++
+			}
+			c.st.Completed++
+			return r, nil
+		}
+		tried++
+		lastErr = err
+		if !errors.Is(err, server.ErrNotFound) {
+			return server.Response{}, err
+		}
+	}
+	if tried == 0 {
+		return server.Response{}, ErrUnavailable
+	}
+	c.st.NotFound++
+	return server.Response{}, lastErr
+}
+
+// doWrite applies a put/truncate/delete to every live holder, primary
+// first. A primary shed (after bounded retry) sheds the whole request;
+// a replica shed is dropped and counted — the shed stays node-local
+// instead of cascading through the cluster. The response carries the
+// slowest holder's latency: sync-commit semantics, a write is
+// acknowledged at the pace of its last replica.
+//
+// A holder that misses the write — down, or still overloaded after the
+// retry budget — leaves the key's holder set: its copy is stale, and a
+// stale replica must never serve a later read. RestartNode's heal sweep
+// re-replicates under-copied keys once the node is back.
+func (s *Session) doWrite(req server.Request) (server.Response, error) {
+	c := s.c
+	holders := c.holdersFor(s.tenant, req.Key)
+	var resp server.Response
+	applied := make([]int, 0, len(holders))
+	for _, h := range holders {
+		if c.down[h] {
+			c.st.SkippedReplicaWrites++
+			continue
+		}
+		r, err := s.doWithRetry(h, req)
+		switch {
+		case err == nil:
+			if len(applied) == 0 {
+				resp = r
+			} else if r.Latency > resp.Latency {
+				resp.Latency = r.Latency
+			}
+			applied = append(applied, h)
+		case errors.Is(err, server.ErrOverloaded):
+			if len(applied) == 0 {
+				// The effective primary stayed overloaded through the
+				// retry budget: the write sheds, and no replica was
+				// touched — admission control stays node-local.
+				c.st.Shed++
+				return server.Response{}, err
+			}
+			c.st.ReplicaSheds++
+		case errors.Is(err, server.ErrNotFound):
+			if len(applied) == 0 {
+				c.st.NotFound++
+				return server.Response{}, err
+			}
+			// A replica missing the object (post-restart, pre-heal)
+			// cannot apply a truncate/delete of it; dropping it from the
+			// holder set below is exactly right.
+		default:
+			return server.Response{}, err
+		}
+	}
+	if len(applied) == 0 {
+		return server.Response{}, ErrUnavailable
+	}
+	c.noteWrite(s.tenant, applied, req)
+	c.st.Completed++
+	return resp, nil
+}
+
+// doWithRetry serves req on node h, retrying a shed write with bounded
+// exponential virtual-time backoff: each retry arrives later, and the
+// idle gap is exactly the time the node's cleaner needs to free blocks
+// and its buffer needs to drain. Caller holds c.mu.
+func (s *Session) doWithRetry(h int, req server.Request) (server.Response, error) {
+	c := s.c
+	sess, err := s.nodeSession(h)
+	if err != nil {
+		return server.Response{}, err
+	}
+	r, err := sess.Do(req)
+	if req.Kind != server.OpPut && req.Kind != server.OpTruncate {
+		return r, err
+	}
+	backoff := c.cfg.ShedBackoff
+	for attempt := 0; attempt < c.cfg.ShedRetries && errors.Is(err, server.ErrOverloaded); attempt++ {
+		c.st.ShedRetries++
+		base := req.Arrival
+		if base == 0 || base < c.nodes[h].Clock.Now() {
+			base = c.nodes[h].Clock.Now()
+		}
+		req.Arrival = base.Add(backoff)
+		backoff *= 2
+		r, err = sess.Do(req)
+	}
+	return r, err
+}
+
+// holdersFor resolves the key's holder set: the directory entry when the
+// key has been written, the ring default otherwise. Caller holds c.mu.
+func (c *Cluster) holdersFor(tenant string, key uint64) []int {
+	if m := c.dir[tenant]; m != nil {
+		if e := m[key]; e != nil {
+			return e.holders
+		}
+	}
+	return c.ringPlace(tenant, key)
+}
+
+// noteWrite records a successful write in the directory: puts and
+// truncates pin the holder set to the nodes that actually applied the
+// write (a holder that missed it is stale and leaves the set) and track
+// the object's length (migration needs to know how much to copy);
+// deletes drop the entry. Caller holds c.mu.
+func (c *Cluster) noteWrite(tenant string, applied []int, req server.Request) {
+	m := c.dir[tenant]
+	if req.Kind == server.OpDelete {
+		if m != nil {
+			delete(m, req.Key)
+		}
+		return
+	}
+	if m == nil {
+		m = make(map[uint64]*entry)
+		c.dir[tenant] = m
+	}
+	e := m[req.Key]
+	if e == nil {
+		e = &entry{}
+		m[req.Key] = e
+	}
+	e.holders = append(e.holders[:0], applied...)
+	switch req.Kind {
+	case server.OpPut:
+		if end := req.Offset + int64(len(req.Data)); end > e.size {
+			e.size = end
+		}
+	case server.OpTruncate:
+		e.size = req.Size
+	}
+}
+
+// checkHealth sweeps every live node's SMART report and cordons nodes
+// whose free-block margin has sunk below the rebalance threshold,
+// migrating their keys to healthier cards. Recovered nodes (margin back
+// above the uncordon threshold, e.g. after migration freed their space)
+// rejoin placement. Caller holds c.mu.
+func (c *Cluster) checkHealth(arrival sim.Time) {
+	for i := range c.nodes {
+		if c.down[i] {
+			continue
+		}
+		margin, ok := c.nodeMargin(i)
+		if !ok {
+			continue
+		}
+		switch {
+		case !c.cordoned[i] && margin < c.cfg.RebalanceMargin:
+			c.cordoned[i] = true
+			c.st.Rebalances++
+			c.migrateOff(i, arrival)
+		case c.cordoned[i] && margin >= c.cfg.UncordonMargin:
+			c.cordoned[i] = false
+		}
+	}
+}
+
+// nodeMargin reads node i's free-block margin from its health report —
+// the same flash.HealthFromSnapshot pure function behind /debug/health,
+// over the node's own metrics registry. Caller holds c.mu.
+func (c *Cluster) nodeMargin(i int) (float64, bool) {
+	o := c.nodes[i].Obs
+	if o == nil || o.Registry == nil {
+		return 0, false
+	}
+	rep, err := flash.HealthFromSnapshot(o.Registry.Snapshot(), "flash")
+	if err != nil || rep.FreeBlockMargin < 0 {
+		return 0, false
+	}
+	return rep.FreeBlockMargin, true
+}
+
+// migrateOff moves every key held by node i to a healthy replacement:
+// copy the object from a live holder to the new node, delete it from
+// the cordoned one (its cleaner gets the space back), and rewrite the
+// directory entry — promoting the first surviving replica when the
+// primary moves. Sweeps run in sorted (tenant, key) order so the
+// migration traffic is deterministic. Caller holds c.mu.
+func (c *Cluster) migrateOff(i int, arrival sim.Time) {
+	tenants := make([]string, 0, len(c.dir))
+	for tn := range c.dir {
+		tenants = append(tenants, tn)
+	}
+	sort.Strings(tenants)
+	for _, tn := range tenants {
+		sess := c.sessions[tn]
+		if sess == nil {
+			continue
+		}
+		m := c.dir[tn]
+		keys := make([]uint64, 0, len(m))
+		for k, e := range m {
+			if holdsNode(e.holders, i) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			e := m[k]
+			repl := c.ringReplacement(tn, k, e.holders)
+			if repl < 0 {
+				continue // nowhere healthy to go; keep the degraded placement
+			}
+			if !c.copyObject(sess, e, k, repl, arrival) {
+				continue
+			}
+			// Drop the object from the cordoned node so its cleaner can
+			// reclaim the space — the point of the migration.
+			if !c.down[i] {
+				if src, err := sess.nodeSession(i); err == nil {
+					src.Do(server.Request{Kind: server.OpDelete, Key: k, Arrival: arrival})
+				}
+			}
+			holders := make([]int, 0, len(e.holders))
+			for _, h := range e.holders {
+				if h != i {
+					holders = append(holders, h)
+				}
+			}
+			e.holders = append(holders, repl)
+			c.st.MigratedKeys++
+		}
+	}
+}
+
+// copyObject replicates key k onto node repl, reading from the first
+// live holder (including a cordoned one — cordoned is not down). It
+// reports whether the new copy is in place. Caller holds c.mu.
+func (c *Cluster) copyObject(sess *Session, e *entry, k uint64, repl int, arrival sim.Time) bool {
+	var data []byte
+	if e.size > 0 {
+		got := false
+		for _, h := range e.holders {
+			if c.down[h] {
+				continue
+			}
+			src, err := sess.nodeSession(h)
+			if err != nil {
+				continue
+			}
+			r, err := src.Do(server.Request{Kind: server.OpGet, Key: k, Offset: 0, Size: e.size, Arrival: arrival})
+			if err != nil {
+				continue
+			}
+			data = r.Data
+			got = true
+			break
+		}
+		if !got {
+			return false
+		}
+	}
+	dst, err := sess.nodeSession(repl)
+	if err != nil {
+		return false
+	}
+	_, err = dst.Do(server.Request{Kind: server.OpPut, Key: k, Offset: 0, Data: data, Arrival: arrival})
+	return err == nil
+}
+
+func holdsNode(holders []int, n int) bool {
+	for _, h := range holders {
+		if h == n {
+			return true
+		}
+	}
+	return false
+}
+
+// KillNode marks node i down: requests route around it, reads fail over
+// to replicas, and writes skip it. The node's unsynced state is
+// considered lost (RestartNode remounts from flash, the power-failure
+// contract).
+func (c *Cluster) KillNode(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down[i] = true
+}
+
+// RestartNode recovers a killed node through its Restart hook (remount
+// from flash — synced data survives, unsynced DRAM is lost) and returns
+// it to service. Cached tenant sessions on the node are invalidated, and
+// a heal sweep re-replicates keys whose holder set shrank while the node
+// was away (writes drop a holder that misses them), so the cluster
+// returns to its target copy count instead of running degraded forever.
+func (c *Cluster) RestartNode(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.down[i] {
+		return fmt.Errorf("cluster: node %d is not down", i)
+	}
+	n := c.nodes[i]
+	if n.Restart == nil {
+		return fmt.Errorf("cluster: node %d has no restart hook", i)
+	}
+	srv, err := n.Restart()
+	if err != nil {
+		return fmt.Errorf("cluster: restarting node %d: %w", i, err)
+	}
+	n.Srv = srv
+	c.down[i] = false
+	c.gen[i]++
+	c.heal()
+	return nil
+}
+
+// heal re-replicates every directory entry holding fewer than the target
+// copy count, copying each under-replicated object onto the first
+// healthy non-holder clockwise of its key. Sweeps run in sorted
+// (tenant, key) order for determinism. Caller holds c.mu.
+func (c *Cluster) heal() {
+	now := c.maxClock()
+	want := c.cfg.Replicas + 1
+	tenants := make([]string, 0, len(c.dir))
+	for tn := range c.dir {
+		tenants = append(tenants, tn)
+	}
+	sort.Strings(tenants)
+	for _, tn := range tenants {
+		sess := c.sessions[tn]
+		if sess == nil {
+			continue
+		}
+		m := c.dir[tn]
+		keys := make([]uint64, 0, len(m))
+		for k, e := range m {
+			if len(e.holders) < want {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			e := m[k]
+			for len(e.holders) < want {
+				repl := c.ringReplacement(tn, k, e.holders)
+				if repl < 0 {
+					break // no healthy non-holder left
+				}
+				if !c.copyObject(sess, e, k, repl, now) {
+					break
+				}
+				e.holders = append(e.holders, repl)
+				c.st.HealedKeys++
+			}
+		}
+	}
+}
+
+// maxClock reports the furthest node clock. Caller holds c.mu.
+func (c *Cluster) maxClock() sim.Time {
+	var t sim.Time
+	for _, n := range c.nodes {
+		if now := n.Clock.Now(); now > t {
+			t = now
+		}
+	}
+	return t
+}
+
+// NodeDown reports whether node i is marked down.
+func (c *Cluster) NodeDown(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[i]
+}
+
+// Cordoned reports whether node i is cordoned off from new placements.
+func (c *Cluster) Cordoned(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cordoned[i]
+}
+
+// Stats reports the aggregate request accounting behind the Service
+// interface (logical requests, not per-node fan-out).
+func (c *Cluster) Stats() server.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return server.Stats{
+		Completed:    c.st.Completed,
+		Shed:         c.st.Shed,
+		NotFound:     c.st.NotFound,
+		BatchedSyncs: c.st.BatchedSyncs,
+	}
+}
+
+// ClusterStats reports the router's full accounting, including the
+// rebalance and replication counters.
+func (c *Cluster) ClusterStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
+// Drain drains every live node in index order: each stops admitting and
+// flushes to stable storage. The first error is reported after every
+// node has been attempted.
+func (c *Cluster) Drain() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for i, n := range c.nodes {
+		if c.down[i] {
+			continue
+		}
+		if err := n.Srv.Drain(); err != nil && first == nil {
+			first = fmt.Errorf("cluster: draining node %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// Now reports the cluster's virtual time: the furthest node clock (the
+// cluster has finished an instant only when every node has).
+func (c *Cluster) Now() sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxClock()
+}

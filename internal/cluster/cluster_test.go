@@ -1,0 +1,191 @@
+// End-to-end cluster tests over real node stacks (assembled through
+// core, which is why these live in the external test package): the
+// determinism contract for the cluster experiment, and replica
+// consistency across a node kill/restart — the synced data a card holds
+// must survive its node's power cut via the copies on its peers.
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ssmobile/internal/cluster"
+	"ssmobile/internal/core"
+	"ssmobile/internal/server"
+	"ssmobile/internal/sim"
+)
+
+// newTestCluster assembles n fresh (unaged) node stacks behind a router.
+func newTestCluster(t *testing.T, n int, cfg cluster.Config) *cluster.Cluster {
+	t.Helper()
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		node, _, err := core.NewClusterNode(core.ClusterNodeConfig{
+			Name: fmt.Sprintf("n%d", i),
+			System: core.SolidStateConfig{
+				DRAMBytes:       8 << 20,
+				FlashBytes:      8 << 20,
+				BufferBytes:     1 << 20,
+				RBoxBytes:       512 << 10,
+				IdleCleanBlocks: 24,
+				WriteBackDelay:  2 * sim.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	cl, err := cluster.New(nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func payloadFor(key uint64, version byte) []byte {
+	p := make([]byte, 2048)
+	for i := range p {
+		p[i] = byte(key)*7 + version + byte(i)
+	}
+	return p
+}
+
+// TestReplicaConsistencyAcrossKillRestart is the cluster's durability
+// contract end to end: synced writes survive a node's power cut through
+// the replicas on its peers; reads fail over while the node is down;
+// writes made in its absence never resurface stale from its recovered
+// card; and the restart heal sweep returns every key to the target copy
+// count.
+func TestReplicaConsistencyAcrossKillRestart(t *testing.T) {
+	cl := newTestCluster(t, 3, cluster.Config{Replicas: 1})
+	sess, err := cl.OpenSession("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := cl.Now()
+	do := func(req server.Request) (server.Response, error) {
+		at = at.Add(50 * sim.Millisecond)
+		req.Arrival = at
+		return sess.Do(req)
+	}
+
+	const keys = 24
+	for k := uint64(0); k < keys; k++ {
+		if _, err := do(server.Request{Kind: server.OpPut, Key: k, Data: payloadFor(k, 1)}); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	// Make it all stable everywhere it lives: the power-failure contract
+	// only covers synced data.
+	if _, err := do(server.Request{Kind: server.OpSync}); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+
+	checkAll := func(stage string, version func(k uint64) byte) {
+		t.Helper()
+		for k := uint64(0); k < keys; k++ {
+			resp, err := do(server.Request{Kind: server.OpGet, Key: k, Size: 2048})
+			if err != nil {
+				t.Fatalf("%s: get %d: %v", stage, k, err)
+			}
+			if want := payloadFor(k, version(k)); !bytes.Equal(resp.Data, want) {
+				t.Fatalf("%s: key %d payload mismatch", stage, k)
+			}
+		}
+	}
+	checkAll("before kill", func(uint64) byte { return 1 })
+
+	// Kill a node mid-workload: every key it held must stay readable via
+	// its replica on a surviving node.
+	cl.KillNode(0)
+	checkAll("node 0 down", func(uint64) byte { return 1 })
+	if fo := cl.ClusterStats().ReadFailovers; fo == 0 {
+		t.Error("no read failovers with a node down — replicas were never exercised")
+	}
+
+	// Update half the keys while the node is away. Its recovered card
+	// must never serve these keys' old bytes.
+	for k := uint64(0); k < keys; k += 2 {
+		if _, err := do(server.Request{Kind: server.OpPut, Key: k, Data: payloadFor(k, 2)}); err != nil {
+			t.Fatalf("put %d while node down: %v", k, err)
+		}
+	}
+	if _, err := do(server.Request{Kind: server.OpSync}); err != nil {
+		t.Fatalf("sync while node down: %v", err)
+	}
+	version := func(k uint64) byte {
+		if k%2 == 0 {
+			return 2
+		}
+		return 1
+	}
+	checkAll("updated while down", version)
+
+	// Restart: the node remounts from flash (synced data survives, its
+	// DRAM is lost) and the heal sweep re-replicates what it missed.
+	if err := cl.RestartNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.NodeDown(0) {
+		t.Fatal("node still marked down after restart")
+	}
+	checkAll("after restart", version)
+	if healed := cl.ClusterStats().HealedKeys; healed == 0 {
+		t.Error("restart healed no keys — under-replicated entries were left degraded")
+	}
+	// And the cluster must still take writes everywhere, including on the
+	// recovered node.
+	for k := uint64(0); k < keys; k++ {
+		if _, err := do(server.Request{Kind: server.OpPut, Key: k, Data: payloadFor(k, 3)}); err != nil {
+			t.Fatalf("put %d after restart: %v", k, err)
+		}
+	}
+	checkAll("rewritten after restart", func(uint64) byte { return 3 })
+}
+
+// TestKillWithoutReplicasLosesAvailability pins the negative space: with
+// replication off, killing a node makes its keys unavailable rather than
+// silently wrong.
+func TestKillWithoutReplicasLosesAvailability(t *testing.T) {
+	// Replicas is clamped to nodes-1, so a 1-node "cluster" has none.
+	cl := newTestCluster(t, 1, cluster.Config{})
+	sess, err := cl.OpenSession("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := cl.Now().Add(50 * sim.Millisecond)
+	if _, err := sess.Do(server.Request{Kind: server.OpPut, Key: 1, Data: []byte("x"), Arrival: at}); err != nil {
+		t.Fatal(err)
+	}
+	cl.KillNode(0)
+	_, err = sess.Do(server.Request{Kind: server.OpGet, Key: 1, Size: 1, Arrival: at.Add(sim.Second)})
+	if err == nil {
+		t.Fatal("read from a dead single-node cluster succeeded")
+	}
+}
+
+// TestE14DeterministicAcrossParallelism is the experiment-level
+// determinism contract: the cluster table is a pure function of the
+// seed, byte-identical whether its cells run sequentially or on a
+// worker pool.
+func TestE14DeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the cluster experiment twice")
+	}
+	var serial, parallel strings.Builder
+	if err := core.RunExperimentParallel(&serial, "e14", 1993, 1); err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if err := core.RunExperimentParallel(&parallel, "e14", 1993, 8); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("E14 output differs between -parallel 1 and 8")
+	}
+	if !strings.Contains(serial.String(), "E14") {
+		t.Error("E14 table missing from output")
+	}
+}

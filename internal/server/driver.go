@@ -49,7 +49,7 @@ func (r RunStats) CompletedRate() float64 {
 // client is one stream's driver state.
 type driverClient struct {
 	gen  *workload.Client
-	sess *Session
+	sess RequestDoer
 	op   workload.Op
 	// base anchors the workload's epoch: generated arrival times are
 	// relative to the run's start, not the clock's (the device may have
@@ -79,24 +79,26 @@ func (c *driverClient) load(now sim.Time) {
 	}
 }
 
-// RunWorkload drives cfg's full workload through srv, one session per
-// client, merging the per-client streams in global arrival order (ties
-// broken by client id — the output is a pure function of the workload
-// seed). It returns the aggregate accounting; shed and not-found
-// outcomes are expected under saturation and do not fail the run.
-func RunWorkload(srv *Server, cfg workload.Config) (RunStats, error) {
+// RunWorkload drives cfg's full workload through svc — the single-card
+// Server or the cluster router, anything implementing Service — one
+// session per client, merging the per-client streams in global arrival
+// order (ties broken by client id — the output is a pure function of
+// the workload seed). It returns the aggregate accounting; shed and
+// not-found outcomes are expected under saturation and do not fail the
+// run.
+func RunWorkload(svc Service, cfg workload.Config) (RunStats, error) {
 	st := RunStats{Lat: sim.NewHistogram("latency"), WriteLat: sim.NewHistogram("write-latency")}
 	c0 := workload.NewClient(cfg, 0)
 	cfg = c0.Config() // defaulted view, so Clients below is right
 
 	clients := make([]*driverClient, cfg.Clients)
-	start := srv.b.Clock.Now()
+	start := svc.Now()
 	for i := range clients {
 		gen := c0
 		if i > 0 {
 			gen = workload.NewClient(cfg, i)
 		}
-		sess, err := srv.Open(fmt.Sprintf("c%d", i))
+		sess, err := svc.OpenSession(fmt.Sprintf("c%d", i))
 		if err != nil {
 			return st, err
 		}
@@ -154,8 +156,8 @@ func RunWorkload(srv *Server, cfg workload.Config) (RunStats, error) {
 			return st, fmt.Errorf("client %d op %d (%v key %d): %w",
 				op.Client, op.Seq, op.Kind, op.Key, err)
 		}
-		pick.load(srv.b.Clock.Now())
+		pick.load(svc.Now())
 	}
-	st.Elapsed = srv.b.Clock.Now().Sub(start)
+	st.Elapsed = svc.Now().Sub(start)
 	return st, nil
 }

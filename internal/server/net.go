@@ -29,22 +29,70 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ssmobile/internal/sim"
 )
 
-// TCP serves a Server over a listener with graceful drain on shutdown.
+// maxLineBytes caps one protocol header line. A command line is a
+// handful of decimal fields, so the cap is generous; without it a
+// misbehaving peer could balloon server memory with a single endless
+// line (readLine buffers until the newline arrives).
+const maxLineBytes = 4096
+
+// ErrLineTooLong reports a protocol header line that exceeded
+// maxLineBytes. It unwraps to ErrBadRequest; once framing is lost the
+// connection cannot be resynchronised, so the server answers with the
+// error and closes.
+var ErrLineTooLong = fmt.Errorf("%w: header line exceeds %d bytes", ErrBadRequest, maxLineBytes)
+
+// drainGrace bounds how long a request caught mid-payload-read by
+// Shutdown may keep reading before its connection is cut anyway: the
+// drain must not hang forever on a peer that stalls inside a PUT body.
+const drainGrace = 10 * time.Second
+
+// RequestDoer serves one tenant's requests: a *Session from a single
+// Server, or a cluster session routing across many.
+type RequestDoer interface {
+	Do(Request) (Response, error)
+}
+
+// Service is the request-serving surface the TCP front end and the
+// workload driver operate: the single-card *Server implements it, and so
+// does the cluster router (internal/cluster), which is how one TCP front
+// end serves N cards.
+type Service interface {
+	// OpenSession starts (or resumes) a tenant session.
+	OpenSession(tenant string) (RequestDoer, error)
+	// Stats snapshots the aggregate request accounting.
+	Stats() Stats
+	// Drain stops admission and flushes everything to stable storage.
+	Drain() error
+	// Now reports the service's current virtual time.
+	Now() sim.Time
+}
+
+// TCP serves a Service over a listener with graceful drain on shutdown.
 type TCP struct {
-	srv *Server
+	srv Service
 	ln  net.Listener
 
 	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	draining bool
 	wg       sync.WaitGroup
 }
 
-// NewTCP wraps srv for network serving.
-func NewTCP(srv *Server) *TCP {
-	return &TCP{srv: srv, conns: make(map[net.Conn]struct{})}
+// connState tracks where a connection's handler is, so Shutdown can tell
+// an idle connection (parked in readLine between requests — wake it with
+// an expired deadline) from one serving a command (mid-payload-read or
+// mid-response — leave its deadline alone and let the request finish).
+type connState struct {
+	inCmd bool
+}
+
+// NewTCP wraps svc for network serving.
+func NewTCP(svc Service) *TCP {
+	return &TCP{srv: svc, conns: make(map[net.Conn]*connState)}
 }
 
 // Listen starts listening on addr (e.g. "127.0.0.1:0") and serving in
@@ -76,7 +124,7 @@ func (t *TCP) acceptLoop() {
 			conn.Close()
 			continue
 		}
-		t.conns[conn] = struct{}{}
+		t.conns[conn] = &connState{}
 		t.wg.Add(1)
 		t.mu.Unlock()
 		go t.handle(conn)
@@ -94,11 +142,18 @@ func (t *TCP) Shutdown() error {
 		return nil
 	}
 	t.draining = true
-	// Unblock handlers parked in Read: a request already read keeps
-	// being served (handle checks draining only between requests), but
-	// idle connections wake up, fail the read, and exit.
-	for c := range t.conns {
-		c.SetReadDeadline(time.Now())
+	// Unblock handlers parked in readLine between requests: idle
+	// connections wake up, fail the read, and exit. A connection mid
+	// command — its header line read, its handler possibly still inside
+	// the payload read — keeps an open deadline (bounded by drainGrace)
+	// so the in-flight request completes and gets its response instead
+	// of dying silently on the wake-up deadline.
+	for c, st := range t.conns {
+		if st.inCmd {
+			c.SetReadDeadline(time.Now().Add(drainGrace))
+		} else {
+			c.SetReadDeadline(time.Now())
+		}
 	}
 	t.mu.Unlock()
 	if t.ln != nil {
@@ -117,57 +172,95 @@ func (t *TCP) handle(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 
-	r := bufio.NewReader(conn)
+	r := bufio.NewReaderSize(conn, maxLineBytes)
 	w := bufio.NewWriter(conn)
-	var sess *Session
+	var sess RequestDoer
 	for {
 		line, err := readLine(r)
 		if err != nil {
-			// During drain a deadline unblocks the read mid-request-gap;
-			// anything in flight already got its response above.
+			// An overlong line still has a usable write side: report the
+			// typed error before closing. Any other failure (drain
+			// wake-up deadline between requests, peer gone) just ends
+			// the connection.
+			if errors.Is(err, ErrLineTooLong) {
+				writeErr(w, err)
+			}
 			return
 		}
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
-		if t.isDraining() && fields[0] != "quit" {
+		if !t.beginCmd(conn) {
+			// Drain began before this command was admitted: answer
+			// cleanly and close.
 			writeErr(w, ErrDraining)
 			return
 		}
 		quit, err := t.serveCmd(r, w, &sess, fields)
+		stop := t.endCmd(conn)
 		if err != nil || quit {
+			return
+		}
+		if stop {
+			// Drain began while this command was in flight; its response
+			// is already flushed. Close instead of reading the next
+			// command.
 			return
 		}
 	}
 }
 
-func (t *TCP) isDraining() bool {
+// beginCmd admits one read command for service. It reports false when
+// the service is draining (the caller answers ErrDraining); otherwise it
+// marks the connection in-command — Shutdown leaves such connections
+// alone — and clears any expired wake-up deadline a racing Shutdown may
+// already have set (a header line buffered before the deadline fired
+// still parses; its payload read must not inherit the dead deadline).
+func (t *TCP) beginCmd(conn net.Conn) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.draining {
+		return false
+	}
+	conn.SetReadDeadline(time.Time{})
+	if st := t.conns[conn]; st != nil {
+		st.inCmd = true
+	}
+	return true
+}
+
+// endCmd marks the command finished and reports whether a drain began
+// while it was in flight (the handler then closes instead of reading the
+// next command).
+func (t *TCP) endCmd(conn net.Conn) (draining bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st := t.conns[conn]; st != nil {
+		st.inCmd = false
+	}
 	return t.draining
 }
 
 // serveCmd executes one command; the returned error means the
-// connection is unusable (I/O failure), not a request-level error —
-// those are written to the peer and the session continues.
-func (t *TCP) serveCmd(r *bufio.Reader, w *bufio.Writer, sess **Session, fields []string) (quit bool, fatal error) {
+// connection is unusable (I/O failure or a half-written response), not a
+// request-level error — those are written to the peer and the session
+// continues.
+func (t *TCP) serveCmd(r *bufio.Reader, w *bufio.Writer, sess *RequestDoer, fields []string) (quit bool, fatal error) {
 	cmd := fields[0]
 	if cmd == "quit" {
-		writeOK(w, 0, "")
-		return true, w.Flush()
+		return true, writeOK(w, 0, "")
 	}
 	if cmd == "hello" {
 		if len(fields) != 2 {
 			return false, writeErr(w, fmt.Errorf("%w: hello wants a tenant", ErrBadRequest))
 		}
-		s, err := t.srv.Open(fields[1])
+		s, err := t.srv.OpenSession(fields[1])
 		if err != nil {
 			return false, writeErr(w, err)
 		}
 		*sess = s
-		writeOK(w, 0, "")
-		return false, w.Flush()
+		return false, writeOK(w, 0, "")
 	}
 	if *sess == nil {
 		return false, writeErr(w, fmt.Errorf("%w: hello first", ErrBadRequest))
@@ -179,8 +272,7 @@ func (t *TCP) serveCmd(r *bufio.Reader, w *bufio.Writer, sess **Session, fields 
 	}
 	if cmd == "stats" {
 		st := t.srv.Stats()
-		writeOK(w, 0, fmt.Sprintf("completed=%d shed=%d", st.Completed, st.Shed))
-		return false, w.Flush()
+		return false, writeOK(w, 0, fmt.Sprintf("completed=%d shed=%d", st.Completed, st.Shed))
 	}
 	if req.Kind == OpPut {
 		// The payload follows the header line verbatim.
@@ -198,7 +290,13 @@ func (t *TCP) serveCmd(r *bufio.Reader, w *bufio.Writer, sess **Session, fields 
 	if resp.Batched {
 		suffix = "batched"
 	}
-	writeOK(w, resp.N, suffix)
+	// A half-written response desynchronises the stream: the peer can no
+	// longer tell status lines from payload bytes, so any write failure
+	// from here on is fatal for the connection — close, never serve the
+	// next command on a desynced stream.
+	if err := writeStatus(w, resp.N, suffix); err != nil {
+		return false, err
+	}
 	if req.Kind == OpGet {
 		if _, err := w.Write(resp.Data); err != nil {
 			return false, err
@@ -267,20 +365,42 @@ func parseReq(cmd string, args []string) (Request, error) {
 	return req, nil
 }
 
+// readLine reads one newline-terminated header line, capped at
+// maxLineBytes (the reader's buffer size): a line that fills the buffer
+// without its newline is rejected as ErrLineTooLong rather than buffered
+// without bound.
 func readLine(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
+	line, err := r.ReadSlice('\n')
+	switch err {
+	case nil:
+		return strings.TrimRight(string(line), "\r\n"), nil
+	case bufio.ErrBufferFull:
+		return "", ErrLineTooLong
+	default:
 		return "", err
 	}
-	return strings.TrimRight(line, "\r\n"), nil
 }
 
-func writeOK(w *bufio.Writer, n int, suffix string) {
+// writeStatus buffers one "ok" status line, failing fast on a write
+// error so the caller never follows a broken header with payload bytes.
+func writeStatus(w *bufio.Writer, n int, suffix string) error {
+	var err error
 	if suffix != "" {
-		fmt.Fprintf(w, "ok %d %s\n", n, suffix)
-		return
+		_, err = fmt.Fprintf(w, "ok %d %s\n", n, suffix)
+	} else {
+		_, err = fmt.Fprintf(w, "ok %d\n", n)
 	}
-	fmt.Fprintf(w, "ok %d\n", n)
+	return err
+}
+
+// writeOK writes and flushes one "ok" status line; the returned error is
+// fatal for the connection (a half-written status cannot be retried —
+// the stream is desynced).
+func writeOK(w *bufio.Writer, n int, suffix string) error {
+	if err := writeStatus(w, n, suffix); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // writeErr reports a request-level error to the peer; the returned
@@ -296,6 +416,8 @@ func writeErr(w *bufio.Writer, err error) error {
 		code = "notfound"
 	}
 	msg := strings.ReplaceAll(err.Error(), "\n", " ")
-	fmt.Fprintf(w, "err %s %s\n", code, msg)
+	if _, werr := fmt.Fprintf(w, "err %s %s\n", code, msg); werr != nil {
+		return werr
+	}
 	return w.Flush()
 }

@@ -279,6 +279,21 @@ func (s *Server) Open(tenant string) (*Session, error) {
 	}, nil
 }
 
+// OpenSession is Open behind the Service interface the TCP front end
+// and the workload driver consume.
+func (s *Server) OpenSession(tenant string) (RequestDoer, error) {
+	sess, err := s.Open(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// Now reports the backend clock's current virtual time.
+func (s *Server) Now() sim.Time {
+	return s.b.Clock.Now()
+}
+
 func validTenant(t string) bool {
 	for _, r := range t {
 		switch {
