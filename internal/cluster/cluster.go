@@ -13,7 +13,13 @@
 //     replicas with sync-commit semantics matching the single node's
 //     group commit (a replicated write's latency is the slowest
 //     holder's, and sync fans out to every node so a tenant's data is
-//     stable everywhere it lives);
+//     stable everywhere it lives). A holder that misses a write leaves
+//     the key's holder set and is remembered as stale until its old
+//     copy is purged; a delete that misses a holder leaves a tombstone
+//     behind, so the key can never be resurrected from the copy that
+//     node still holds. The periodic health sweep re-replicates
+//     under-copied keys and propagates pending deletes as soon as the
+//     cluster can, not only after a node restart;
 //   - rebalancing: the router watches each node's SMART-style health
 //     report (flash.HealthFromSnapshot over the node's own metrics
 //     registry — the same pure function behind /debug/health) and, when
@@ -136,9 +142,10 @@ type Stats struct {
 	Completed, Shed, NotFound, BatchedSyncs int64
 	// ShedRetries counts in-place retries after a node-local shed;
 	// ReplicaSheds counts replica writes dropped because the replica
-	// stayed overloaded (the primary copy is intact — healed by the next
-	// full write or migration); SkippedReplicaWrites counts writes
-	// skipped because a holder was down.
+	// stayed overloaded (the primary copy is intact — the periodic
+	// health sweep's heal pass re-replicates the key back to the target
+	// copy count); SkippedReplicaWrites counts writes skipped because a
+	// holder was down or still held a stale, unpurged copy.
 	ShedRetries, ReplicaSheds, SkippedReplicaWrites int64
 	// Rebalances counts cordon events; MigratedKeys the keys moved off
 	// cordoned nodes; HealedKeys the keys re-replicated back to the
@@ -147,10 +154,20 @@ type Stats struct {
 	Rebalances, MigratedKeys, HealedKeys, ReadFailovers int64
 }
 
-// entry is one written key's directory record.
+// entry is one written key's directory record. Beyond the live holder
+// set it remembers which nodes still hold obsolete bytes for the key:
+// a holder that misses a put/truncate (down, or overloaded past the
+// retry budget) leaves holders and joins stale, and a delete that
+// misses a holder keeps the entry as a tombstone (deleted=true, no
+// holders) until every stale copy is purged — without the tombstone,
+// the entry would vanish, holdersFor would fall back to ring placement,
+// and a read could resurrect the deleted key from the copy the absent
+// node still holds.
 type entry struct {
 	holders []int // primary first
 	size    int64 // current object length upper bound, for migration reads
+	deleted bool  // tombstone: deleted, but a stale copy survives somewhere
+	stale   []int // sorted nodes holding obsolete bytes, pending purge
 }
 
 // Cluster routes requests across nodes. All methods are safe for
@@ -168,6 +185,7 @@ type Cluster struct {
 	dir      map[string]map[uint64]*entry
 	sessions map[string]*Session
 	opsSince int
+	degraded bool // some entry is under-copied or has stale copies to purge
 	st       Stats
 }
 
@@ -315,9 +333,15 @@ func (s *Session) doSync(req server.Request) (server.Response, error) {
 
 // doGet reads from the key's first live holder, failing over to the
 // next replica when the preferred one is down or (after a lossy
-// restart) no longer has the object.
+// restart) no longer has the object. A tombstoned key is not found by
+// definition — the delete was acknowledged; the stale copy an absent
+// holder still has must never be served.
 func (s *Session) doGet(req server.Request) (server.Response, error) {
 	c := s.c
+	if e := c.lookup(s.tenant, req.Key); e != nil && e.deleted {
+		c.st.NotFound++
+		return server.Response{}, server.ErrNotFound
+	}
 	holders := c.holdersFor(s.tenant, req.Key)
 	var lastErr error
 	tried := 0
@@ -357,18 +381,42 @@ func (s *Session) doGet(req server.Request) (server.Response, error) {
 // slowest holder's latency: sync-commit semantics, a write is
 // acknowledged at the pace of its last replica.
 //
-// A holder that misses the write — down, or still overloaded after the
-// retry budget — leaves the key's holder set: its copy is stale, and a
-// stale replica must never serve a later read. RestartNode's heal sweep
-// re-replicates under-copied keys once the node is back.
+// A holder that misses the write — down, still overloaded after the
+// retry budget, or still carrying an unpurged stale copy — leaves the
+// key's holder set: its copy is stale, and a stale replica must never
+// serve a later read. Misses are remembered on the entry's stale list
+// (for a delete, as a tombstone) so the obsolete copy is purged by the
+// periodic heal pass, or here, before a new write lands on the key.
 func (s *Session) doWrite(req server.Request) (server.Response, error) {
 	c := s.c
+	e := c.lookup(s.tenant, req.Key)
+	if e != nil && len(e.stale) > 0 {
+		// Purge obsolete copies on live nodes before writing: a node
+		// that missed a delete or write must never take a fresh partial
+		// write on top of its old bytes.
+		s.purgeStale(e, req.Key, req.Arrival)
+		if e.deleted && len(e.stale) == 0 {
+			// The delete has now reached every copy; the tombstone is done.
+			delete(c.dir[s.tenant], req.Key)
+			e = nil
+		}
+	}
 	holders := c.holdersFor(s.tenant, req.Key)
 	var resp server.Response
 	applied := make([]int, 0, len(holders))
+	var missed []int
+	// A miss only matters if the node actually holds the key's bytes:
+	// a past holder or an already-stale copy. A ring-placed node that
+	// never took the key has nothing to go stale.
+	wasHolder := func(h int) bool {
+		return e != nil && (holdsNode(e.holders, h) || holdsNode(e.stale, h))
+	}
 	for _, h := range holders {
-		if c.down[h] {
+		if c.down[h] || (e != nil && holdsNode(e.stale, h)) {
 			c.st.SkippedReplicaWrites++
+			if wasHolder(h) {
+				missed = append(missed, h)
+			}
 			continue
 		}
 		r, err := s.doWithRetry(h, req)
@@ -389,6 +437,9 @@ func (s *Session) doWrite(req server.Request) (server.Response, error) {
 				return server.Response{}, err
 			}
 			c.st.ReplicaSheds++
+			if wasHolder(h) {
+				missed = append(missed, h)
+			}
 		case errors.Is(err, server.ErrNotFound):
 			if len(applied) == 0 {
 				c.st.NotFound++
@@ -404,9 +455,33 @@ func (s *Session) doWrite(req server.Request) (server.Response, error) {
 	if len(applied) == 0 {
 		return server.Response{}, ErrUnavailable
 	}
-	c.noteWrite(s.tenant, applied, req)
+	c.noteWrite(s.tenant, applied, missed, req)
 	c.st.Completed++
 	return resp, nil
+}
+
+// purgeStale deletes the key's obsolete copies from the live nodes on
+// the entry's stale list; nodes that are down, or whose delete fails,
+// stay listed for a later pass. Caller holds c.mu.
+func (s *Session) purgeStale(e *entry, key uint64, arrival sim.Time) {
+	c := s.c
+	kept := e.stale[:0]
+	for _, h := range e.stale {
+		if c.down[h] {
+			kept = append(kept, h)
+			continue
+		}
+		sess, err := s.nodeSession(h)
+		if err != nil {
+			kept = append(kept, h)
+			continue
+		}
+		_, err = sess.Do(server.Request{Kind: server.OpDelete, Key: key, Arrival: arrival})
+		if err != nil && !errors.Is(err, server.ErrNotFound) {
+			kept = append(kept, h)
+		}
+	}
+	e.stale = kept
 }
 
 // doWithRetry serves req on node h, retrying a shed write with bounded
@@ -437,28 +512,57 @@ func (s *Session) doWithRetry(h int, req server.Request) (server.Response, error
 	return r, err
 }
 
-// holdersFor resolves the key's holder set: the directory entry when the
-// key has been written, the ring default otherwise. Caller holds c.mu.
-func (c *Cluster) holdersFor(tenant string, key uint64) []int {
+// lookup returns the key's directory entry, nil if the key has none.
+// Caller holds c.mu.
+func (c *Cluster) lookup(tenant string, key uint64) *entry {
 	if m := c.dir[tenant]; m != nil {
-		if e := m[key]; e != nil {
-			return e.holders
-		}
+		return m[key]
+	}
+	return nil
+}
+
+// holdersFor resolves the key's holder set: the directory entry when the
+// key has live copies, the ring default otherwise (including for a
+// tombstoned key — a fresh write to it places anew). Caller holds c.mu.
+func (c *Cluster) holdersFor(tenant string, key uint64) []int {
+	if e := c.lookup(tenant, key); e != nil && !e.deleted {
+		return e.holders
 	}
 	return c.ringPlace(tenant, key)
 }
 
-// noteWrite records a successful write in the directory: puts and
-// truncates pin the holder set to the nodes that actually applied the
-// write (a holder that missed it is stale and leaves the set) and track
-// the object's length (migration needs to know how much to copy);
-// deletes drop the entry. Caller holds c.mu.
-func (c *Cluster) noteWrite(tenant string, applied []int, req server.Request) {
+// noteWrite records a write in the directory: puts and truncates pin
+// the holder set to the nodes that actually applied the write and track
+// the object's length (migration needs to know how much to copy); a
+// node that held the key but missed the write joins the stale list. A
+// delete drops the entry only when no stale copy survives it; otherwise
+// the entry stays as a tombstone until the heal pass (or a later write
+// to the key) purges the remaining copies — dropping it early would let
+// ring placement route a read back to the stale copy. Caller holds
+// c.mu.
+func (c *Cluster) noteWrite(tenant string, applied, missed []int, req server.Request) {
 	m := c.dir[tenant]
 	if req.Kind == server.OpDelete {
-		if m != nil {
-			delete(m, req.Key)
+		if m == nil {
+			return
 		}
+		e := m[req.Key]
+		if e == nil {
+			return
+		}
+		stale := e.stale
+		for _, h := range missed {
+			stale = addStale(stale, h)
+		}
+		if len(stale) == 0 {
+			delete(m, req.Key)
+			return
+		}
+		e.deleted = true
+		e.holders = e.holders[:0]
+		e.size = 0
+		e.stale = stale
+		c.degraded = true
 		return
 	}
 	if m == nil {
@@ -470,7 +574,11 @@ func (c *Cluster) noteWrite(tenant string, applied []int, req server.Request) {
 		e = &entry{}
 		m[req.Key] = e
 	}
+	e.deleted = false
 	e.holders = append(e.holders[:0], applied...)
+	for _, h := range missed {
+		e.stale = addStale(e.stale, h)
+	}
 	switch req.Kind {
 	case server.OpPut:
 		if end := req.Offset + int64(len(req.Data)); end > e.size {
@@ -479,13 +587,42 @@ func (c *Cluster) noteWrite(tenant string, applied []int, req server.Request) {
 	case server.OpTruncate:
 		e.size = req.Size
 	}
+	if len(e.holders) < c.cfg.Replicas+1 || len(e.stale) > 0 {
+		c.degraded = true
+	}
+}
+
+// addStale inserts node n into the sorted stale list if absent.
+func addStale(stale []int, n int) []int {
+	i := sort.SearchInts(stale, n)
+	if i < len(stale) && stale[i] == n {
+		return stale
+	}
+	stale = append(stale, 0)
+	copy(stale[i+1:], stale[i:])
+	stale[i] = n
+	return stale
+}
+
+// removeNode drops node n from the list, preserving order.
+func removeNode(list []int, n int) []int {
+	for i, h := range list {
+		if h == n {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }
 
 // checkHealth sweeps every live node's SMART report and cordons nodes
 // whose free-block margin has sunk below the rebalance threshold,
 // migrating their keys to healthier cards. Recovered nodes (margin back
 // above the uncordon threshold, e.g. after migration freed their space)
-// rejoin placement. Caller holds c.mu.
+// rejoin placement. When any directory entry is degraded — under the
+// target copy count, or carrying stale copies to purge — the sweep also
+// runs the heal pass, so durability lost to a skipped or shed replica
+// write is restored on the next sweep instead of waiting for some node
+// to restart. Caller holds c.mu.
 func (c *Cluster) checkHealth(arrival sim.Time) {
 	for i := range c.nodes {
 		if c.down[i] {
@@ -503,6 +640,9 @@ func (c *Cluster) checkHealth(arrival sim.Time) {
 		case c.cordoned[i] && margin >= c.cfg.UncordonMargin:
 			c.cordoned[i] = false
 		}
+	}
+	if c.degraded {
+		c.degraded = c.heal() > 0
 	}
 }
 
@@ -569,14 +709,19 @@ func (c *Cluster) migrateOff(i int, arrival sim.Time) {
 				}
 			}
 			e.holders = append(holders, repl)
+			e.stale = removeNode(e.stale, repl) // the copy just landed is fresh
 			c.st.MigratedKeys++
 		}
 	}
 }
 
 // copyObject replicates key k onto node repl, reading from the first
-// live holder (including a cordoned one — cordoned is not down). It
-// reports whether the new copy is in place. Caller holds c.mu.
+// live holder (including a cordoned one — cordoned is not down). The
+// target is deleted before the copy lands: if repl holds stale bytes
+// from a write it missed, a put of the current object over them could
+// leave an obsolete tail past the copy's extent — the replica must be
+// exact, not a patch. It reports whether the new copy is in place.
+// Caller holds c.mu.
 func (c *Cluster) copyObject(sess *Session, e *entry, k uint64, repl int, arrival sim.Time) bool {
 	var data []byte
 	if e.size > 0 {
@@ -605,6 +750,9 @@ func (c *Cluster) copyObject(sess *Session, e *entry, k uint64, repl int, arriva
 	if err != nil {
 		return false
 	}
+	if _, err := dst.Do(server.Request{Kind: server.OpDelete, Key: k, Arrival: arrival}); err != nil && !errors.Is(err, server.ErrNotFound) {
+		return false
+	}
 	_, err = dst.Do(server.Request{Kind: server.OpPut, Key: k, Offset: 0, Data: data, Arrival: arrival})
 	return err == nil
 }
@@ -631,9 +779,10 @@ func (c *Cluster) KillNode(i int) {
 // RestartNode recovers a killed node through its Restart hook (remount
 // from flash — synced data survives, unsynced DRAM is lost) and returns
 // it to service. Cached tenant sessions on the node are invalidated, and
-// a heal sweep re-replicates keys whose holder set shrank while the node
-// was away (writes drop a holder that misses them), so the cluster
-// returns to its target copy count instead of running degraded forever.
+// a heal sweep purges stale copies the node accumulated while away —
+// deletes it missed foremost, so a tombstoned key can finally drop —
+// and re-replicates keys whose holder set shrank in its absence, so the
+// cluster returns to its target copy count.
 func (c *Cluster) RestartNode(i int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -651,15 +800,20 @@ func (c *Cluster) RestartNode(i int) error {
 	n.Srv = srv
 	c.down[i] = false
 	c.gen[i]++
-	c.heal()
+	c.degraded = c.heal() > 0
 	return nil
 }
 
-// heal re-replicates every directory entry holding fewer than the target
-// copy count, copying each under-replicated object onto the first
-// healthy non-holder clockwise of its key. Sweeps run in sorted
-// (tenant, key) order for determinism. Caller holds c.mu.
-func (c *Cluster) heal() {
+// heal walks every degraded directory entry in sorted (tenant, key)
+// order: it purges stale copies from nodes that are live again (for a
+// tombstone, that is the pending delete finally reaching the copy that
+// missed it — once the last one is purged the entry drops), then
+// re-replicates entries holding fewer than the target copy count onto
+// the first healthy non-holder clockwise of the key. It reports how
+// many entries remain degraded (stale copy on a still-down node, or no
+// healthy replacement available) so the periodic sweep knows to come
+// back. Caller holds c.mu.
+func (c *Cluster) heal() (remaining int) {
 	now := c.maxClock()
 	want := c.cfg.Replicas + 1
 	tenants := make([]string, 0, len(c.dir))
@@ -669,19 +823,31 @@ func (c *Cluster) heal() {
 	sort.Strings(tenants)
 	for _, tn := range tenants {
 		sess := c.sessions[tn]
-		if sess == nil {
-			continue
-		}
 		m := c.dir[tn]
 		keys := make([]uint64, 0, len(m))
 		for k, e := range m {
-			if len(e.holders) < want {
+			if len(e.stale) > 0 || (!e.deleted && len(e.holders) < want) {
 				keys = append(keys, k)
 			}
 		}
 		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 		for _, k := range keys {
 			e := m[k]
+			if sess == nil {
+				remaining++
+				continue
+			}
+			if len(e.stale) > 0 {
+				sess.purgeStale(e, k, now)
+			}
+			if e.deleted {
+				if len(e.stale) == 0 {
+					delete(m, k)
+				} else {
+					remaining++
+				}
+				continue
+			}
 			for len(e.holders) < want {
 				repl := c.ringReplacement(tn, k, e.holders)
 				if repl < 0 {
@@ -691,10 +857,15 @@ func (c *Cluster) heal() {
 					break
 				}
 				e.holders = append(e.holders, repl)
+				e.stale = removeNode(e.stale, repl) // fresh copy, no longer stale
 				c.st.HealedKeys++
+			}
+			if len(e.holders) < want || len(e.stale) > 0 {
+				remaining++
 			}
 		}
 	}
+	return remaining
 }
 
 // maxClock reports the furthest node clock. Caller holds c.mu.

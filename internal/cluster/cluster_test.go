@@ -7,6 +7,7 @@ package cluster_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -144,6 +145,138 @@ func TestReplicaConsistencyAcrossKillRestart(t *testing.T) {
 		}
 	}
 	checkAll("rewritten after restart", func(uint64) byte { return 3 })
+}
+
+// TestDeleteWhileHolderDownIsNotResurrected pins the tombstone fix: a
+// delete that lands while one of the key's holders is down must stick
+// after that node comes back. Pre-fix, the delete dropped the directory
+// entry outright, holdersFor fell back to ring placement, and a read
+// could be routed to the recovered node — which still held the synced
+// pre-delete object — serving a deleted key as a successful read.
+func TestDeleteWhileHolderDownIsNotResurrected(t *testing.T) {
+	cl := newTestCluster(t, 3, cluster.Config{Replicas: 1})
+	sess, err := cl.OpenSession("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := cl.Now()
+	do := func(req server.Request) (server.Response, error) {
+		at = at.Add(50 * sim.Millisecond)
+		req.Arrival = at
+		return sess.Do(req)
+	}
+
+	const keys = 24
+	for k := uint64(0); k < keys; k++ {
+		if _, err := do(server.Request{Kind: server.OpPut, Key: k, Data: payloadFor(k, 1)}); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	// Sync so node 0's copies survive its power cut — the resurrection
+	// bug needs the stale object to outlive the restart.
+	if _, err := do(server.Request{Kind: server.OpSync}); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+
+	cl.KillNode(0)
+	for k := uint64(0); k < keys; k++ {
+		if _, err := do(server.Request{Kind: server.OpDelete, Key: k}); err != nil {
+			t.Fatalf("delete %d with node 0 down: %v", k, err)
+		}
+	}
+	checkGone := func(stage string) {
+		t.Helper()
+		for k := uint64(0); k < keys; k++ {
+			_, err := do(server.Request{Kind: server.OpGet, Key: k, Size: 2048})
+			if err == nil {
+				t.Fatalf("%s: deleted key %d served a successful read", stage, k)
+			}
+			if !errors.Is(err, server.ErrNotFound) {
+				t.Fatalf("%s: get %d: %v, want ErrNotFound", stage, k, err)
+			}
+		}
+	}
+	checkGone("node 0 down")
+
+	// The recovered node remounts its pre-delete flash image; the heal
+	// sweep must propagate the deletes it missed before any read can
+	// reach it.
+	if err := cl.RestartNode(0); err != nil {
+		t.Fatal(err)
+	}
+	checkGone("after restart")
+
+	// The keys stay fully usable after the tombstones clear.
+	for k := uint64(0); k < keys; k++ {
+		if _, err := do(server.Request{Kind: server.OpPut, Key: k, Data: payloadFor(k, 2)}); err != nil {
+			t.Fatalf("re-put %d: %v", k, err)
+		}
+		resp, err := do(server.Request{Kind: server.OpGet, Key: k, Size: 2048})
+		if err != nil {
+			t.Fatalf("get re-put %d: %v", k, err)
+		}
+		if !bytes.Equal(resp.Data, payloadFor(k, 2)) {
+			t.Fatalf("re-put key %d payload mismatch", k)
+		}
+	}
+}
+
+// TestUnderReplicatedKeysHealWithoutRestart pins the periodic heal: a
+// key whose holder set shrank because a write skipped a down node must
+// be re-replicated onto a healthy third node by the router's health
+// sweep — not only when the absent node eventually restarts. Pre-fix,
+// the heal ran solely from RestartNode, so durability silently degraded
+// for as long as the node stayed away.
+func TestUnderReplicatedKeysHealWithoutRestart(t *testing.T) {
+	cl := newTestCluster(t, 3, cluster.Config{Replicas: 1, RebalanceCheckEvery: 4})
+	sess, err := cl.OpenSession("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := cl.Now()
+	do := func(req server.Request) (server.Response, error) {
+		at = at.Add(50 * sim.Millisecond)
+		req.Arrival = at
+		return sess.Do(req)
+	}
+
+	const keys = 24
+	for k := uint64(0); k < keys; k++ {
+		if _, err := do(server.Request{Kind: server.OpPut, Key: k, Data: payloadFor(k, 1)}); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	cl.KillNode(0)
+	// Rewrites while node 0 is away pin keys it held to their single
+	// surviving holder.
+	for k := uint64(0); k < keys; k++ {
+		if _, err := do(server.Request{Kind: server.OpPut, Key: k, Data: payloadFor(k, 2)}); err != nil {
+			t.Fatalf("put %d with node 0 down: %v", k, err)
+		}
+	}
+	// Drive the periodic sweep past the last rewrite so every degraded
+	// key gets its heal pass (no restart anywhere).
+	for i := 0; i < 8; i++ {
+		if _, err := do(server.Request{Kind: server.OpGet, Key: uint64(i), Size: 2048}); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	if healed := cl.ClusterStats().HealedKeys; healed == 0 {
+		t.Fatal("health sweep healed no keys while the node was away — under-replication persists until a restart")
+	}
+
+	// The proof of durability: lose a second node. Every key must still
+	// be readable from the copies the sweep restored.
+	cl.KillNode(1)
+	for k := uint64(0); k < keys; k++ {
+		resp, err := do(server.Request{Kind: server.OpGet, Key: k, Size: 2048})
+		if err != nil {
+			t.Fatalf("get %d with nodes 0 and 1 down: %v", k, err)
+		}
+		if !bytes.Equal(resp.Data, payloadFor(k, 2)) {
+			t.Fatalf("key %d payload mismatch after double failure", k)
+		}
+	}
 }
 
 // TestKillWithoutReplicasLosesAvailability pins the negative space: with

@@ -45,10 +45,12 @@ const maxLineBytes = 4096
 // error and closes.
 var ErrLineTooLong = fmt.Errorf("%w: header line exceeds %d bytes", ErrBadRequest, maxLineBytes)
 
-// drainGrace bounds how long a request caught mid-payload-read by
-// Shutdown may keep reading before its connection is cut anyway: the
-// drain must not hang forever on a peer that stalls inside a PUT body.
-const drainGrace = 10 * time.Second
+// drainGrace bounds how long a request caught in flight by Shutdown may
+// keep going before its connection is cut anyway: the drain must not
+// hang forever on a peer that stalls inside a PUT body — or one that
+// stops reading while a GET response is being written. A variable so
+// tests can shorten it.
+var drainGrace = 10 * time.Second
 
 // RequestDoer serves one tenant's requests: a *Session from a single
 // Server, or a cluster session routing across many.
@@ -145,14 +147,17 @@ func (t *TCP) Shutdown() error {
 	// Unblock handlers parked in readLine between requests: idle
 	// connections wake up, fail the read, and exit. A connection mid
 	// command — its header line read, its handler possibly still inside
-	// the payload read — keeps an open deadline (bounded by drainGrace)
-	// so the in-flight request completes and gets its response instead
-	// of dying silently on the wake-up deadline.
+	// the payload read or writing the response — keeps an open deadline
+	// (bounded by drainGrace) so the in-flight request completes and
+	// gets its response instead of dying silently on the wake-up
+	// deadline. Both directions are bounded: a peer that stops reading
+	// mid-response would otherwise stall the handler in the response
+	// write, past any read deadline, and hang the drain.
 	for c, st := range t.conns {
 		if st.inCmd {
-			c.SetReadDeadline(time.Now().Add(drainGrace))
+			c.SetDeadline(time.Now().Add(drainGrace))
 		} else {
-			c.SetReadDeadline(time.Now())
+			c.SetDeadline(time.Now())
 		}
 	}
 	t.mu.Unlock()
@@ -191,15 +196,24 @@ func (t *TCP) handle(conn net.Conn) {
 		if len(fields) == 0 {
 			continue
 		}
+		if fields[0] == "quit" {
+			// A polite close needs no service admission, so it bypasses
+			// beginCmd and still gets its clean "ok" goodbye during a
+			// drain. The goodbye write is bounded (a racing Shutdown may
+			// already have expired this connection's deadline).
+			conn.SetDeadline(time.Now().Add(drainGrace))
+			writeOK(w, 0, "")
+			return
+		}
 		if !t.beginCmd(conn) {
 			// Drain began before this command was admitted: answer
 			// cleanly and close.
 			writeErr(w, ErrDraining)
 			return
 		}
-		quit, err := t.serveCmd(r, w, &sess, fields)
+		err = t.serveCmd(r, w, &sess, fields)
 		stop := t.endCmd(conn)
-		if err != nil || quit {
+		if err != nil {
 			return
 		}
 		if stop {
@@ -223,7 +237,7 @@ func (t *TCP) beginCmd(conn net.Conn) bool {
 	if t.draining {
 		return false
 	}
-	conn.SetReadDeadline(time.Time{})
+	conn.SetDeadline(time.Time{})
 	if st := t.conns[conn]; st != nil {
 		st.inCmd = true
 	}
@@ -242,49 +256,46 @@ func (t *TCP) endCmd(conn net.Conn) (draining bool) {
 	return t.draining
 }
 
-// serveCmd executes one command; the returned error means the
-// connection is unusable (I/O failure or a half-written response), not a
-// request-level error — those are written to the peer and the session
-// continues.
-func (t *TCP) serveCmd(r *bufio.Reader, w *bufio.Writer, sess *RequestDoer, fields []string) (quit bool, fatal error) {
+// serveCmd executes one command ("quit" is handled by the caller); the
+// returned error means the connection is unusable (I/O failure or a
+// half-written response), not a request-level error — those are written
+// to the peer and the session continues.
+func (t *TCP) serveCmd(r *bufio.Reader, w *bufio.Writer, sess *RequestDoer, fields []string) (fatal error) {
 	cmd := fields[0]
-	if cmd == "quit" {
-		return true, writeOK(w, 0, "")
-	}
 	if cmd == "hello" {
 		if len(fields) != 2 {
-			return false, writeErr(w, fmt.Errorf("%w: hello wants a tenant", ErrBadRequest))
+			return writeErr(w, fmt.Errorf("%w: hello wants a tenant", ErrBadRequest))
 		}
 		s, err := t.srv.OpenSession(fields[1])
 		if err != nil {
-			return false, writeErr(w, err)
+			return writeErr(w, err)
 		}
 		*sess = s
-		return false, writeOK(w, 0, "")
+		return writeOK(w, 0, "")
 	}
 	if *sess == nil {
-		return false, writeErr(w, fmt.Errorf("%w: hello first", ErrBadRequest))
+		return writeErr(w, fmt.Errorf("%w: hello first", ErrBadRequest))
 	}
 
 	req, err := parseReq(cmd, fields[1:])
 	if err != nil {
-		return false, writeErr(w, err)
+		return writeErr(w, err)
 	}
 	if cmd == "stats" {
 		st := t.srv.Stats()
-		return false, writeOK(w, 0, fmt.Sprintf("completed=%d shed=%d", st.Completed, st.Shed))
+		return writeOK(w, 0, fmt.Sprintf("completed=%d shed=%d", st.Completed, st.Shed))
 	}
 	if req.Kind == OpPut {
 		// The payload follows the header line verbatim.
 		req.Data = make([]byte, req.Size)
 		if _, err := io.ReadFull(r, req.Data); err != nil {
-			return false, err
+			return err
 		}
 		req.Size = 0
 	}
 	resp, err := (*sess).Do(req)
 	if err != nil {
-		return false, writeErr(w, err)
+		return writeErr(w, err)
 	}
 	suffix := ""
 	if resp.Batched {
@@ -295,14 +306,14 @@ func (t *TCP) serveCmd(r *bufio.Reader, w *bufio.Writer, sess *RequestDoer, fiel
 	// from here on is fatal for the connection — close, never serve the
 	// next command on a desynced stream.
 	if err := writeStatus(w, resp.N, suffix); err != nil {
-		return false, err
+		return err
 	}
 	if req.Kind == OpGet {
 		if _, err := w.Write(resp.Data); err != nil {
-			return false, err
+			return err
 		}
 	}
-	return false, w.Flush()
+	return w.Flush()
 }
 
 // parseReq decodes a command line into a Request; "stats" passes
