@@ -224,43 +224,27 @@ func BenchmarkE10CrashAndBattery(b *testing.B) {
 	}
 }
 
+// benchEngines parameterizes the serve benchmarks by storage backend,
+// so `make bench` reports per-backend numbers side by side.
+var benchEngines = []string{"ftl", "pdl"}
+
 // BenchmarkServeThroughput drives the object-storage service (the E12
 // serving stack) with a seeded 8-client open-loop workload and reports
-// the served virtual-time throughput and tail latency as metrics. It
-// measures the Go cost of the whole fs→storman→ftl→flash request path
-// under multiplexed client load.
+// the served virtual-time throughput and tail latency as metrics, once
+// per storage backend. It measures the Go cost of the whole
+// fs→storman→engine→flash request path under multiplexed client load.
 func BenchmarkServeThroughput(b *testing.B) {
-	var served, shed float64
-	var p99ms float64
-	for i := 0; i < b.N; i++ {
-		sys, err := core.NewSolidState(core.SolidStateConfig{
-			DRAMBytes: 8 << 20, FlashBytes: 16 << 20, BufferBytes: 1 << 20,
-			IdleCleanBlocks: 24,
+	for _, eng := range benchEngines {
+		b.Run(eng, func(b *testing.B) {
+			var st server.RunStats
+			for i := 0; i < b.N; i++ {
+				st = serveWorkload(b, eng, nil)
+			}
+			b.ReportMetric(st.CompletedRate(), "served-vop/s")
+			b.ReportMetric(float64(st.Shed), "shed")
+			b.ReportMetric(st.Lat.Quantile(0.99)/1e6, "p99-vms")
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		srv, err := server.New(server.Backend{
-			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
-		}, server.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		st, err := server.RunWorkload(srv, workload.Config{
-			Seed: benchSeed, Clients: 8, OpsPerClient: 200, Keys: 16,
-			Popularity: workload.Zipf,
-			Mix:        workload.Mix{Read: 0.55, Write: 0.35, Truncate: 0.02, Delete: 0.03, Sync: 0.05},
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		served = st.CompletedRate()
-		shed = float64(st.Shed)
-		p99ms = st.Lat.Quantile(0.99) / 1e6
 	}
-	b.ReportMetric(served, "served-vop/s")
-	b.ReportMetric(shed, "shed")
-	b.ReportMetric(p99ms, "p99-vms")
 }
 
 // BenchmarkTracedServeThroughput is BenchmarkServeThroughput with
@@ -271,53 +255,33 @@ func BenchmarkServeThroughput(b *testing.B) {
 // BENCH_pr5.json records; the served/shed/p99 metrics must be identical
 // to the untraced run — tracing never alters simulated behaviour.
 func BenchmarkTracedServeThroughput(b *testing.B) {
-	var served, shed float64
-	var p99ms float64
-	for i := 0; i < b.N; i++ {
-		o := obs.New(1 << 16)
-		sys, err := core.NewSolidState(core.SolidStateConfig{
-			DRAMBytes: 8 << 20, FlashBytes: 16 << 20, BufferBytes: 1 << 20,
-			IdleCleanBlocks: 24, Obs: o,
+	for _, eng := range benchEngines {
+		b.Run(eng, func(b *testing.B) {
+			var st server.RunStats
+			for i := 0; i < b.N; i++ {
+				st = serveWorkload(b, eng, obs.New(1<<16))
+			}
+			b.ReportMetric(st.CompletedRate(), "served-vop/s")
+			b.ReportMetric(float64(st.Shed), "shed")
+			b.ReportMetric(st.Lat.Quantile(0.99)/1e6, "p99-vms")
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		srv, err := server.New(server.Backend{
-			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
-		}, server.Config{Obs: o})
-		if err != nil {
-			b.Fatal(err)
-		}
-		st, err := server.RunWorkload(srv, workload.Config{
-			Seed: benchSeed, Clients: 8, OpsPerClient: 200, Keys: 16,
-			Popularity: workload.Zipf,
-			Mix:        workload.Mix{Read: 0.55, Write: 0.35, Truncate: 0.02, Delete: 0.03, Sync: 0.05},
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		served = st.CompletedRate()
-		shed = float64(st.Shed)
-		p99ms = st.Lat.Quantile(0.99) / 1e6
 	}
-	b.ReportMetric(served, "served-vop/s")
-	b.ReportMetric(shed, "shed")
-	b.ReportMetric(p99ms, "p99-vms")
 }
 
-// serveWorkload builds a fresh serving stack (optionally observed) and
-// drives the standard 8-client benchmark workload through it once.
-func serveWorkload(b *testing.B, o *obs.Observer) server.RunStats {
+// serveWorkload builds a fresh serving stack over the named storage
+// backend (optionally observed) and drives the standard 8-client
+// benchmark workload through it once.
+func serveWorkload(b *testing.B, engine string, o *obs.Observer) server.RunStats {
 	b.Helper()
 	sys, err := core.NewSolidState(core.SolidStateConfig{
 		DRAMBytes: 8 << 20, FlashBytes: 16 << 20, BufferBytes: 1 << 20,
-		IdleCleanBlocks: 24, Obs: o,
+		IdleCleanBlocks: 24, Engine: engine, Obs: o,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	srv, err := server.New(server.Backend{
-		FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+		FS: sys.FS, Storage: sys.Storage, Engine: sys.Engine, Clock: sys.Clock(),
 	}, server.Config{Obs: o})
 	if err != nil {
 		b.Fatal(err)
@@ -371,7 +335,7 @@ func BenchmarkServeAllocProfile(b *testing.B) {
 	}
 	var st server.RunStats
 	for i := 0; i < b.N; i++ {
-		st = serveWorkload(b, nil)
+		st = serveWorkload(b, "ftl", nil)
 	}
 	b.ReportMetric(st.CompletedRate(), "served-vop/s")
 	b.ReportMetric(st.Lat.Quantile(0.99)/1e6, "p99-vms")

@@ -66,6 +66,7 @@ func main() {
 	flashMB := flag.Int64("flash", 32, "flash size in MB")
 	bufferMB := flag.Int64("buffer", 2, "write-buffer region in MB")
 	idleClean := flag.Int("idle-clean", 8, "idle-cleaning free-block target (0 disables idle cleaning)")
+	engineName := flag.String("engine", "ftl", "storage backend: ftl (page-mapped translation layer) or pdl (page-differential logging)")
 	high := flag.Float64("high", 0.9, "admission high watermark (buffer occupancy fraction)")
 	low := flag.Float64("low", 0.75, "admission low watermark")
 	syncWindow := flag.Duration("sync-window", 0, "sync group-commit window (0 = default 50ms)")
@@ -102,7 +103,7 @@ func main() {
 	tcp, admin, mergeTelemetry, frObs, err := build(buildConfig{
 		nodes:  *nodeCount,
 		dramMB: *dramMB, flashMB: *flashMB, bufferMB: *bufferMB,
-		idleClean: *idleClean, high: *high, low: *low,
+		idleClean: *idleClean, engine: *engineName, high: *high, low: *low,
 		syncWindow: sim.D(*syncWindow),
 		obs:        o,
 	})
@@ -180,6 +181,7 @@ type buildConfig struct {
 	nodes                     int
 	dramMB, flashMB, bufferMB int64
 	idleClean                 int
+	engine                    string
 	high, low                 float64
 	syncWindow                sim.Duration
 	obs                       *obs.Observer
@@ -200,12 +202,13 @@ func build(bc buildConfig) (*server.TCP, *server.Admin, func(), *obs.Observer, e
 			FlashBytes:      bc.flashMB << 20,
 			BufferBytes:     bc.bufferMB << 20,
 			IdleCleanBlocks: bc.idleClean,
+			Engine:          bc.engine,
 		})
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
 		srv, err := server.New(server.Backend{
-			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+			FS: sys.FS, Storage: sys.Storage, Engine: sys.Engine, Clock: sys.Clock(),
 		}, server.Config{
 			HighWatermark:   bc.high,
 			LowWatermark:    bc.low,
@@ -237,6 +240,7 @@ func build(bc buildConfig) (*server.TCP, *server.Admin, func(), *obs.Observer, e
 				FlashBytes:      bc.flashMB << 20,
 				BufferBytes:     bc.bufferMB << 20,
 				IdleCleanBlocks: bc.idleClean,
+				Engine:          bc.engine,
 			},
 		})
 		if err != nil {

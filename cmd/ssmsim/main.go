@@ -10,7 +10,7 @@
 //	ssmsim list                                 list experiment ids
 //	ssmsim replay -trace FILE [-system solid|disk|both]
 //	                                            replay a trace (see ssmtrace)
-//	ssmsim crash [-points N] [-fate before|during|after|all]
+//	ssmsim crash [-points N] [-fate before|during|after|all] [-engine ftl|pdl]
 //	                                            enumerate power-cut crash points
 //
 // The crash subcommand replays the reference workload once per
@@ -18,7 +18,8 @@
 // programs, interrupted erases), remounting by device scan, and checking
 // recovery invariants; it exits nonzero if any crash point violates
 // them. -points bounds the sweep for quick runs; the default enumerates
-// every operation.
+// every operation. -engine selects the storage backend under test
+// (ftl or pdl) — CI sweeps both.
 //
 // -parallel runs independent experiments and sweep configurations on a
 // worker pool (default: GOMAXPROCS); output is byte-identical to
@@ -130,10 +131,11 @@ func crash(args []string) error {
 	fs := flag.NewFlagSet("crash", flag.ExitOnError)
 	points := fs.Int("points", 0, "max op indexes to enumerate (0 = every destructive op)")
 	fate := fs.String("fate", "all", "cut fate: before, during, after, or all")
+	eng := fs.String("engine", "ftl", "storage backend under test: ftl or pdl")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := crashtest.Config{MaxPoints: *points}
+	cfg := crashtest.Config{MaxPoints: *points, Engine: *eng}
 	switch *fate {
 	case "before":
 		cfg.Fates = []flash.Outcome{flash.CutBefore}
@@ -149,7 +151,7 @@ func crash(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("crash-point enumeration: %d destructive ops, %d recoveries\n", res.DestructiveOps, res.PointsRun)
+	fmt.Printf("crash-point enumeration (%s engine): %d destructive ops, %d recoveries\n", cfg.Engine, res.DestructiveOps, res.PointsRun)
 	fmt.Printf("  torn records rejected %d, blocks re-erased %d, blocks retired %d\n",
 		res.CorruptRecords, res.ReErasedBlocks, res.RetiredBlocks)
 	if len(res.Violations) == 0 {

@@ -48,7 +48,7 @@ func NewClusterNode(cfg ClusterNodeConfig) (*cluster.Node, *obs.Observer, error)
 	}
 	newServer := func(s *SolidStateSystem) (*server.Server, error) {
 		return server.New(server.Backend{
-			FS: s.FS, Storage: s.Storage, FTL: s.FTL, Clock: s.Clock(),
+			FS: s.FS, Storage: s.Storage, Engine: s.Engine, Clock: s.Clock(),
 		}, server.Config{Obs: priv})
 	}
 	srv, err := newServer(sys)

@@ -65,7 +65,7 @@ func E12Saturation(env *Env, seed int64) (*Table, error) {
 			return err
 		}
 		srv, err := server.New(server.Backend{
-			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+			FS: sys.FS, Storage: sys.Storage, Engine: sys.Engine, Clock: sys.Clock(),
 		}, server.Config{Obs: je.Obs()})
 		if err != nil {
 			return err
@@ -186,7 +186,7 @@ func E12bAttribution(env *Env, seed int64) (*Table, error) {
 			return err
 		}
 		srv, err := server.New(server.Backend{
-			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+			FS: sys.FS, Storage: sys.Storage, Engine: sys.Engine, Clock: sys.Clock(),
 		}, server.Config{Obs: priv})
 		if err != nil {
 			return err

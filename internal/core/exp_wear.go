@@ -66,7 +66,7 @@ func E13WearAging(env *Env, seed int64) (*Table, error) {
 			return err
 		}
 		srv, err := server.New(server.Backend{
-			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+			FS: sys.FS, Storage: sys.Storage, Engine: sys.Engine, Clock: sys.Clock(),
 		}, server.Config{Obs: priv})
 		if err != nil {
 			return err

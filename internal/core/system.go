@@ -15,6 +15,9 @@ import (
 	"ssmobile/internal/disk"
 	"ssmobile/internal/diskfs"
 	"ssmobile/internal/dram"
+	"ssmobile/internal/engine"
+	engineftl "ssmobile/internal/engine/ftl"
+	"ssmobile/internal/engine/pdl"
 	"ssmobile/internal/flash"
 	"ssmobile/internal/fs"
 	"ssmobile/internal/ftl"
@@ -59,9 +62,14 @@ type SolidStateConfig struct {
 	Banks int
 	// EraseBlockBytes is the flash erase-block size (default 64KB).
 	EraseBlockBytes int
-	// BlockBytes is the FS/storage-manager block and FTL page size
+	// BlockBytes is the FS/storage-manager block and engine page size
 	// (default 4KB).
 	BlockBytes int
+	// Engine selects the storage backend under the storage manager:
+	// "ftl" (default, the flash translation layer) or "pdl" (the
+	// page-differential log, which persists only the diff of an
+	// overwritten page).
+	Engine string
 	// BufferBytes is the DRAM write-buffer region (default: a quarter of
 	// DRAM).
 	BufferBytes int64
@@ -127,6 +135,9 @@ func (c *SolidStateConfig) applyDefaults() {
 	if c.CodeCardBytes == 0 {
 		c.CodeCardBytes = 4 << 20
 	}
+	if c.Engine == "" {
+		c.Engine = "ftl"
+	}
 }
 
 // SolidStateSystem is the paper's organisation, fully assembled.
@@ -141,10 +152,14 @@ type SolidStateSystem struct {
 	// CodeCard is the read-mostly card holding execute-in-place images;
 	// the VM's flash mappings point here.
 	CodeCard *flash.Device
-	FTL      *ftl.FTL
-	Storage  *storman.Manager
-	FS       *fs.FS
-	VM       *vm.VM
+	// Engine is the storage backend the stack was built with.
+	Engine engine.Engine
+	// FTL is the translation layer when Engine is "ftl", nil otherwise;
+	// the FTL-specific experiments read it directly.
+	FTL     *ftl.FTL
+	Storage *storman.Manager
+	FS      *fs.FS
+	VM      *vm.VM
 }
 
 // NewSolidState builds the full stack. The DRAM layout is:
@@ -195,9 +210,22 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 	if err != nil {
 		return nil, err
 	}
-	fl, err := ftl.New(fd, clock, ftlConfig(cfg))
-	if err != nil {
-		return nil, err
+	var eng engine.Engine
+	var fl *ftl.FTL
+	switch cfg.Engine {
+	case "ftl":
+		fl, err = ftl.New(fd, clock, ftlConfig(cfg))
+		if err != nil {
+			return nil, err
+		}
+		eng = engineftl.Wrap(fl)
+	case "pdl":
+		eng, err = pdl.New(fd, clock, pdlConfig(cfg))
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown storage engine %q (want ftl or pdl)", cfg.Engine)
 	}
 	if cfg.RBoxBytes+cfg.BufferBytes >= cfg.DRAMBytes {
 		return nil, fmt.Errorf("core: rbox %d + buffer %d exceed DRAM %d",
@@ -209,7 +237,7 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 		DRAMBytes:      cfg.BufferBytes,
 		WriteBackDelay: cfg.WriteBackDelay,
 		Obs:            o,
-	}, clock, dr, fl)
+	}, clock, dr, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +277,7 @@ func NewSolidState(cfg SolidStateConfig) (*SolidStateSystem, error) {
 	}
 	return &SolidStateSystem{
 		cfg: cfg, clock: clock, meter: meter,
-		DRAM: dr, Flash: fd, CodeCard: code, FTL: fl, Storage: sm, FS: f, VM: v,
+		DRAM: dr, Flash: fd, CodeCard: code, Engine: eng, FTL: fl, Storage: sm, FS: f, VM: v,
 	}, nil
 }
 
@@ -310,6 +338,16 @@ func ftlConfig(cfg SolidStateConfig) ftl.Config {
 	}
 }
 
+func pdlConfig(cfg SolidStateConfig) pdl.Config {
+	return pdl.Config{
+		PageBytes:          cfg.BlockBytes,
+		ReserveBlocks:      3,
+		IdleCleanThreshold: cfg.IdleCleanBlocks,
+		BackgroundErase:    true,
+		Obs:                cfg.Obs,
+	}
+}
+
 // RemountAfterPowerFailure performs the full honest power-failure
 // recovery: with the DRAM device failed (the caller triggers
 // DRAM.PowerFail), it restores the DRAM array empty, rebuilds the
@@ -341,9 +379,24 @@ func (s *SolidStateSystem) RemountAfterPowerFailure() (*SolidStateSystem, error)
 		s.Flash.SetInjector(nil)
 		s.Flash.Restore()
 	}
-	fl, err := ftl.Mount(s.Flash, s.clock, ftlConfig(s.cfg))
-	if err != nil {
-		return nil, err
+	var eng engine.Engine
+	var fl *ftl.FTL
+	switch s.cfg.Engine {
+	case "ftl":
+		var err error
+		fl, err = ftl.Mount(s.Flash, s.clock, ftlConfig(s.cfg))
+		if err != nil {
+			return nil, err
+		}
+		eng = engineftl.Wrap(fl)
+	case "pdl":
+		var err error
+		eng, err = pdl.Mount(s.Flash, s.clock, pdlConfig(s.cfg))
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown storage engine %q", s.cfg.Engine)
 	}
 	sm, err := storman.Mount(storman.Config{
 		BlockBytes:     s.cfg.BlockBytes,
@@ -351,7 +404,7 @@ func (s *SolidStateSystem) RemountAfterPowerFailure() (*SolidStateSystem, error)
 		DRAMBytes:      s.cfg.BufferBytes,
 		WriteBackDelay: s.cfg.WriteBackDelay,
 		Obs:            s.cfg.Obs,
-	}, s.clock, s.DRAM, fl)
+	}, s.clock, s.DRAM, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +430,7 @@ func (s *SolidStateSystem) RemountAfterPowerFailure() (*SolidStateSystem, error)
 	return &SolidStateSystem{
 		cfg: s.cfg, clock: s.clock, meter: s.meter,
 		DRAM: s.DRAM, Flash: s.Flash, CodeCard: s.CodeCard,
-		FTL: fl, Storage: sm, FS: f, VM: v,
+		Engine: eng, FTL: fl, Storage: sm, FS: f, VM: v,
 	}, nil
 }
 

@@ -46,7 +46,7 @@ func wearFixture(t *testing.T, seed int64) (obs.Snapshot, *server.Server, *obs.O
 		t.Fatal(err)
 	}
 	srv, err := server.New(server.Backend{
-		FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+		FS: sys.FS, Storage: sys.Storage, Engine: sys.Engine, Clock: sys.Clock(),
 	}, server.Config{Obs: priv})
 	if err != nil {
 		t.Fatal(err)

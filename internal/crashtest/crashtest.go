@@ -11,12 +11,15 @@
 // then replays the workload once per (operation index, fate), cutting
 // power before, during, or after that exact operation — torn pages,
 // half-written out-of-band records, trembling half-erased blocks — and
-// recovers by the honest path (flash.Device.Restore, ftl.Mount,
-// storman.Mount). After each recovery it checks:
+// recovers by the honest path (flash.Device.Restore, the engine's
+// Mount-by-scan, storman.Mount). The enumeration runs per storage
+// backend (Config.Engine selects ftl or pdl); passing it is the bar for
+// calling a backend real. After each recovery it checks:
 //
-//   - structural invariants in both layers (ftl.CheckInvariants,
-//     storman.CheckInvariants): mapping bijectivity, block counts,
-//     index/scan agreement, and every free block genuinely erased;
+//   - structural invariants in both layers (the engine's
+//     CheckInvariants, storman.CheckInvariants): mapping bijectivity,
+//     block counts, index/scan agreement, and every free block genuinely
+//     erased;
 //   - data: every block that was flushed and left untouched must read
 //     back exactly its flushed image; blocks with in-flight changes must
 //     read back either their last flushed image or the image being
@@ -41,6 +44,9 @@ import (
 
 	"ssmobile/internal/device"
 	"ssmobile/internal/dram"
+	"ssmobile/internal/engine"
+	engineftl "ssmobile/internal/engine/ftl"
+	"ssmobile/internal/engine/pdl"
 	"ssmobile/internal/flash"
 	"ssmobile/internal/ftl"
 	"ssmobile/internal/obs"
@@ -123,8 +129,13 @@ type Config struct {
 	// TickAdvance is how far Tk moves the clock; it must be at least
 	// WriteBackDelay so a tick flushes every dirty block.
 	TickAdvance sim.Duration
-	// Policy is the cleaning policy (default cost-benefit).
+	// Policy is the cleaning policy (default cost-benefit). Only
+	// meaningful for the ftl engine.
 	Policy ftl.Policy
+	// Engine selects the storage backend under test: "ftl" (default)
+	// or "pdl". Passing the enumerator is the bar for calling a
+	// backend real.
+	Engine string
 	// Fates are the cut variants swept per op index (default all three).
 	Fates []flash.Outcome
 	// MaxPoints bounds the number of op indexes enumerated; 0 means all.
@@ -160,6 +171,12 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.Policy == ftl.PolicyDirect {
 		c.Policy = ftl.PolicyCostBenefit
+	}
+	if c.Engine == "" {
+		c.Engine = "ftl"
+	}
+	if c.Engine != "ftl" && c.Engine != "pdl" {
+		return fmt.Errorf("crashtest: unknown engine %q (want ftl or pdl)", c.Engine)
 	}
 	if len(c.Fates) == 0 {
 		c.Fates = []flash.Outcome{flash.CutBefore, flash.CutDuring, flash.CutAfter}
@@ -214,11 +231,12 @@ type Result struct {
 	RetiredBlocks  int64
 }
 
-// stack is one assembled flash/FTL/storage-manager instance.
+// stack is one assembled flash/engine/storage-manager instance.
 type stack struct {
 	clock *sim.Clock
 	dram  *dram.Device
 	dev   *flash.Device
+	eng   engine.Engine
 	m     *storman.Manager
 }
 
@@ -232,6 +250,31 @@ func (c Config) ftlConfig(o *obs.Observer) ftl.Config {
 		PersistMapping:  true,
 		Obs:             o,
 	}
+}
+
+func (c Config) pdlConfig(o *obs.Observer) pdl.Config {
+	return pdl.Config{
+		PageBytes:       c.BlockBytes,
+		ReserveBlocks:   3,
+		BackgroundErase: true,
+		Obs:             o,
+	}
+}
+
+// newEngine builds the configured backend fresh; mountEngine rebuilds it
+// from a device that already holds data.
+func (c Config) newEngine(dev *flash.Device, clock *sim.Clock, o *obs.Observer) (engine.Engine, error) {
+	if c.Engine == "pdl" {
+		return pdl.New(dev, clock, c.pdlConfig(o))
+	}
+	return engineftl.New(dev, clock, c.ftlConfig(o))
+}
+
+func (c Config) mountEngine(dev *flash.Device, clock *sim.Clock, o *obs.Observer) (engine.Engine, error) {
+	if c.Engine == "pdl" {
+		return pdl.Mount(dev, clock, c.pdlConfig(o))
+	}
+	return engineftl.Mount(dev, clock, c.ftlConfig(o))
 }
 
 func (c Config) stormanConfig(o *obs.Observer) storman.Config {
@@ -269,15 +312,15 @@ func buildStack(cfg Config, inj flash.Injector) (*stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	fl, err := ftl.New(dev, clock, cfg.ftlConfig(o))
+	eng, err := cfg.newEngine(dev, clock, o)
 	if err != nil {
 		return nil, err
 	}
-	m, err := storman.New(cfg.stormanConfig(o), clock, dr, fl)
+	m, err := storman.New(cfg.stormanConfig(o), clock, dr, eng)
 	if err != nil {
 		return nil, err
 	}
-	return &stack{clock: clock, dram: dr, dev: dev, m: m}, nil
+	return &stack{clock: clock, dram: dr, dev: dev, eng: eng, m: m}, nil
 }
 
 // apply executes one op against the stack.
@@ -404,21 +447,21 @@ func runPoint(cfg Config, script Script, idx int64, fate flash.Outcome, res *Res
 	st.dev.Restore()
 	st.dram.Restore()
 	o := obs.New(0)
-	fl, err := ftl.Mount(st.dev, st.clock, cfg.ftlConfig(o))
+	eng, err := cfg.mountEngine(st.dev, st.clock, o)
 	if err != nil {
 		fail("mount", err)
 		return
 	}
-	ms := fl.MountStats()
+	ms := eng.MountStats()
 	res.ReErasedBlocks += ms.ReErasedBlocks
 	res.CorruptRecords += ms.CorruptRecords
 	res.RetiredBlocks += ms.RetiredBlocks
-	m, err := storman.Mount(cfg.stormanConfig(o), st.clock, st.dram, fl)
+	m, err := storman.Mount(cfg.stormanConfig(o), st.clock, st.dram, eng)
 	if err != nil {
 		fail("mount", err)
 		return
 	}
-	if err := fl.CheckInvariants(); err != nil {
+	if err := eng.CheckInvariants(); err != nil {
 		fail("invariants", err)
 		return
 	}
@@ -429,7 +472,7 @@ func runPoint(cfg Config, script Script, idx int64, fate flash.Outcome, res *Res
 	for _, err := range mod.verify(m) {
 		fail("data", err)
 	}
-	if err := usabilityPass(cfg, m, fl); err != nil {
+	if err := usabilityPass(cfg, m, eng); err != nil {
 		fail("usability", err)
 	}
 }
@@ -437,7 +480,7 @@ func runPoint(cfg Config, script Script, idx int64, fate flash.Outcome, res *Res
 // usabilityPass proves the recovered stack still works: overwrite
 // surviving blocks, write a fresh one, sync, read everything back, and
 // re-check invariants.
-func usabilityPass(cfg Config, m *storman.Manager, fl *ftl.FTL) error {
+func usabilityPass(cfg Config, m *storman.Manager, eng engine.Engine) error {
 	keys := m.Keys()
 	if len(keys) > 4 {
 		keys = keys[:4]
@@ -464,7 +507,7 @@ func usabilityPass(cfg Config, m *storman.Manager, fl *ftl.FTL) error {
 			return fmt.Errorf("read back %+v: wrong bytes", key)
 		}
 	}
-	if err := fl.CheckInvariants(); err != nil {
+	if err := eng.CheckInvariants(); err != nil {
 		return fmt.Errorf("post-write invariants: %w", err)
 	}
 	return m.CheckInvariants()

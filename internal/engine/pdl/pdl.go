@@ -1,0 +1,961 @@
+// Package pdl implements a page-differential-logging storage engine
+// (after Kim, Whang & Song): an overwritten page persists only the diff
+// against its current image, as a small delta record appended to a log
+// unit, instead of re-programming the whole page. The paper's trace
+// model says most writes are overwrites of recently-written data, so
+// diffs slash flash bytes programmed — and with them write amplification
+// and erase load — exactly where the FTL cleaner collapses past the
+// saturation knee.
+//
+// Layout. Blocks are single-purpose: a block holds either base pages
+// (one full page image per unit, claimed by a CRC-folded spare record
+// carrying seq/lpn/tag, like the FTL's OOB records) or delta log units
+// (the unit's spare record marks it as a log; delta records pack
+// sequentially into its data area, each CRC-folded over a header of
+// seq/lpn/offset/length plus the payload). One monotone sequence number
+// orders every base and delta program, so Mount can rebuild each page by
+// scanning the device: newest base claim wins, then every delta with a
+// newer sequence applies in order.
+//
+// Reads merge on the fly: base page plus chained deltas. The chain is
+// bounded — once it reaches MaxChain records, or a diff grows past
+// PromoteBytes, the page promotes to a fresh base write and the chain
+// dies. Cleaning is crash-safe by construction: a page is only ever
+// moved by promoting it (a fresh base supersedes everything older
+// atomically) or by folding its whole chain into one delta record whose
+// content equals the chain's net effect (reapplying surviving old
+// records before it cannot change the outcome).
+package pdl
+
+import (
+	"errors"
+	"fmt"
+
+	"ssmobile/internal/engine"
+	"ssmobile/internal/flash"
+	"ssmobile/internal/obs"
+	"ssmobile/internal/sim"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoSpace reports that every block is live and nothing can be
+	// reclaimed.
+	ErrNoSpace = errors.New("pdl: no space")
+	// ErrBadPage reports an out-of-range logical page number.
+	ErrBadPage = errors.New("pdl: logical page out of range")
+	// ErrBadSize reports data whose length is not exactly one page.
+	ErrBadSize = errors.New("pdl: data must be exactly one page")
+)
+
+// Config parameterises the engine.
+type Config struct {
+	// PageBytes is the mapping granularity; it must divide the device's
+	// erase-block size and equal the device's spare-unit size.
+	PageBytes int
+	// ReserveBlocks is the cleaning headroom: cleaning runs whenever
+	// the free-block count is at or below this (minimum 1). The reserve
+	// plus the two log heads (base and delta) subtract from the logical
+	// capacity, matching the FTL's formula so both engines expose the
+	// same logical space over the same device.
+	ReserveBlocks int
+	// MaxChain bounds a page's delta chain; the next overwrite past the
+	// bound promotes the page to a fresh base write (default 8).
+	MaxChain int
+	// PromoteBytes is the diff size at which writing a delta stops
+	// paying: diffs at or above it write a fresh base instead
+	// (default PageBytes/2).
+	PromoteBytes int
+	// IdleCleanThreshold lets CleanIdle reclaim during idle periods
+	// until this many blocks are free. Zero disables idle cleaning.
+	IdleCleanThreshold int
+	// BackgroundErase issues erases asynchronously so the writer does
+	// not stall for them.
+	BackgroundErase bool
+	// Obs receives the engine's metrics and op spans; nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
+}
+
+type blockKind uint8
+
+const (
+	blockFree blockKind = iota
+	blockBase
+	blockDelta
+)
+
+type blockInfo struct {
+	kind    blockKind
+	active  bool // current base or delta log head
+	retired bool
+	// unitsUsed counts page-sized units consumed (base pages written,
+	// or delta units opened).
+	unitsUsed int
+	// appended is the record bytes written into a delta block's units.
+	appended int64
+	// live* track what cleaning would have to move.
+	liveBases      int
+	liveDeltas     int
+	liveDeltaBytes int64
+}
+
+// deltaRef locates one live delta record of a page's chain.
+type deltaRef struct {
+	seq  uint64
+	addr int64 // device byte address of the record
+	off  int   // page offset the payload patches
+	n    int   // payload length
+	rec  int   // total record bytes including the header
+}
+
+// pageMeta is a logical page: its base unit and delta chain (sorted by
+// ascending sequence; deltas apply cumulatively on top of the base).
+type pageMeta struct {
+	basePpn int64 // -1 when unmapped
+	baseSeq uint64
+	tag     engine.Tag
+	chain   []deltaRef
+}
+
+// Engine is the page-differential log over one flash device. Not safe
+// for concurrent use.
+type Engine struct {
+	dev   *flash.Device
+	clock *sim.Clock
+	cfg   Config
+
+	ppb          int // page-sized units per erase block
+	numBlocks    int
+	totalUnits   int64
+	logicalPages int64
+
+	pages  []pageMeta
+	rev    []int64 // unit → lpn for live base pages, -1 otherwise
+	blocks []blockInfo
+
+	freeCount int
+	retired   int
+
+	baseActive  int // block id of the base log head, -1 when none
+	basePtr     int // next unit within it
+	deltaActive int // block id of the delta log head, -1 when none
+	deltaPtr    int // current unit within it
+	deltaOff    int // append offset within that unit
+
+	writeSeq uint64
+	cleaning bool // suppresses ensureSpace recursion under cleanOne
+
+	mountStats engine.MountStats
+
+	// Reusable hot-path scratch: mergeBuf holds one merged page image,
+	// readBuf one delta payload, recBuf one outgoing delta record,
+	// oobBuf one spare record. The engine is single-threaded and the
+	// device copies all of them out.
+	mergeBuf []byte
+	readBuf  []byte
+	recBuf   []byte
+	oobBuf   [unitRecordBytes]byte
+
+	obs                    *obs.Observer
+	hostWrites, hostReads  *obs.Counter
+	hostBytes              *obs.Counter
+	cleans, copies         *obs.Counter
+	idleCleans             *obs.Counter
+	deltaWrites, promotion *obs.Counter
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// New builds a page-differential log over dev. The device must be
+// freshly erased (all blocks free), which is how flash.New delivers it.
+func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*Engine, error) {
+	if cfg.PageBytes <= 0 || dev.BlockBytes()%cfg.PageBytes != 0 {
+		return nil, fmt.Errorf("pdl: page size %d does not divide block size %d", cfg.PageBytes, dev.BlockBytes())
+	}
+	if cfg.ReserveBlocks < 1 {
+		cfg.ReserveBlocks = 1
+	}
+	if cfg.MaxChain <= 0 {
+		cfg.MaxChain = 8
+	}
+	if cfg.PromoteBytes <= 0 {
+		cfg.PromoteBytes = cfg.PageBytes / 2
+	}
+	if cfg.PromoteBytes+deltaHdrBytes > cfg.PageBytes {
+		// A record must fit in one log unit.
+		cfg.PromoteBytes = cfg.PageBytes - deltaHdrBytes
+	}
+	dc := dev.Config()
+	if dc.SpareBytes < unitRecordBytes {
+		return nil, fmt.Errorf("pdl: device spare of %d bytes below the %d-byte unit record", dc.SpareBytes, unitRecordBytes)
+	}
+	if dc.SpareUnitBytes != cfg.PageBytes {
+		return nil, fmt.Errorf("pdl: device spare unit %d != page size %d", dc.SpareUnitBytes, cfg.PageBytes)
+	}
+	ppb := dev.BlockBytes() / cfg.PageBytes
+	nb := dev.NumBlocks()
+	total := int64(nb) * int64(ppb)
+	overhead := int64(cfg.ReserveBlocks+2) * int64(ppb)
+	if overhead >= total {
+		return nil, fmt.Errorf("pdl: reserve %d blocks leaves no logical space on %d blocks", cfg.ReserveBlocks, nb)
+	}
+
+	e := &Engine{
+		dev:          dev,
+		clock:        clock,
+		cfg:          cfg,
+		ppb:          ppb,
+		numBlocks:    nb,
+		totalUnits:   total,
+		logicalPages: total - overhead,
+		pages:        make([]pageMeta, total-overhead),
+		rev:          make([]int64, total),
+		blocks:       make([]blockInfo, nb),
+		freeCount:    nb,
+		baseActive:   -1,
+		deltaActive:  -1,
+		mergeBuf:     make([]byte, cfg.PageBytes),
+		readBuf:      make([]byte, cfg.PageBytes),
+		recBuf:       make([]byte, deltaHdrBytes+cfg.PageBytes),
+	}
+	for i := range e.pages {
+		e.pages[i].basePpn = -1
+	}
+	for i := range e.rev {
+		e.rev[i] = -1
+	}
+	o := obs.Or(cfg.Obs)
+	e.obs = o
+	lbl := func(op string) obs.Labels { return obs.Labels{"layer": "pdl", "op": op} }
+	e.hostWrites = o.Counter("host_ops_total", lbl("write"))
+	e.hostReads = o.Counter("host_ops_total", lbl("read"))
+	e.hostBytes = o.Counter("host_bytes_total", lbl("write"))
+	e.cleans = o.Counter("cleans_total", obs.Labels{"layer": "pdl"})
+	e.copies = o.Counter("copied_pages_total", obs.Labels{"layer": "pdl"})
+	e.idleCleans = o.Counter("idle_cleans_total", obs.Labels{"layer": "pdl"})
+	e.deltaWrites = o.Counter("delta_writes_total", obs.Labels{"layer": "pdl"})
+	e.promotion = o.Counter("promotions_total", obs.Labels{"layer": "pdl"})
+	// Same series the FTL registers, distinguished by the engine label,
+	// so both backends land in shared dashboards without colliding.
+	o.GaugeFunc("free_blocks", obs.Labels{"layer": "pdl", "engine": "pdl"}, func() float64 { return float64(e.freeCount) })
+	o.GaugeFunc("cleaner_lag_blocks", obs.Labels{"layer": "pdl", "engine": "pdl"}, func() float64 { return float64(e.CleanerLag()) })
+	waOver := func(flashBytes func() int64) func() float64 {
+		return func() float64 {
+			hb := e.hostBytes.Value()
+			if hb == 0 {
+				return 0
+			}
+			return float64(flashBytes()) / float64(hb)
+		}
+	}
+	o.GaugeFunc("write_amplification", obs.Labels{"layer": "pdl", "engine": "pdl"},
+		waOver(func() int64 { return e.dev.Stats().BytesProgrammed }))
+	for _, c := range obs.Causes {
+		c := c
+		o.GaugeFunc("write_amplification", obs.Labels{"layer": "pdl", "engine": "pdl", "cause": string(c)},
+			waOver(func() int64 { return e.dev.CauseBytesProgrammed(c) }))
+	}
+	return e, nil
+}
+
+// Name identifies the backend.
+func (e *Engine) Name() string { return "pdl" }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// PageBytes reports the mapping granularity.
+func (e *Engine) PageBytes() int { return e.cfg.PageBytes }
+
+// LogicalPages reports the host-visible capacity in pages.
+func (e *Engine) LogicalPages() int64 { return e.logicalPages }
+
+// LogicalBytes reports the host-visible capacity in bytes.
+func (e *Engine) LogicalBytes() int64 { return e.logicalPages * int64(e.cfg.PageBytes) }
+
+// Device exposes the underlying flash device.
+func (e *Engine) Device() *flash.Device { return e.dev }
+
+// PersistsMapping is always true: every base and delta program carries a
+// CRC-folded record, so Mount rebuilds the full mapping by device scan.
+func (e *Engine) PersistsMapping() bool { return true }
+
+// Sync is a no-op: every write is durable on return.
+func (e *Engine) Sync() error { return nil }
+
+// MountStats reports what the Mount scan found; zero for an engine
+// built with New.
+func (e *Engine) MountStats() engine.MountStats { return e.mountStats }
+
+func (e *Engine) checkLPN(lpn int64) error {
+	if lpn < 0 || lpn >= e.logicalPages {
+		return fmt.Errorf("%w: %d of %d", ErrBadPage, lpn, e.logicalPages)
+	}
+	return nil
+}
+
+func (e *Engine) unitAddr(ppn int64) int64 { return ppn * int64(e.cfg.PageBytes) }
+
+func (e *Engine) blockOf(ppn int64) int { return int(ppn / int64(e.ppb)) }
+
+func (e *Engine) blockOfAddr(addr int64) int { return int(addr / int64(e.dev.BlockBytes())) }
+
+// span opens an op span against the engine's clock and the flash
+// device's energy meter, so span energy includes the device work.
+func (e *Engine) span(op string) obs.SpanRef {
+	return e.obs.Span(e.clock, e.dev.Meter(), "pdl", op)
+}
+
+// Mapped reports whether the logical page currently holds data.
+func (e *Engine) Mapped(lpn int64) bool {
+	return lpn >= 0 && lpn < e.logicalPages && e.pages[lpn].basePpn != -1
+}
+
+// TagOf reports the tag associated with the logical page.
+func (e *Engine) TagOf(lpn int64) engine.Tag {
+	if !e.Mapped(lpn) {
+		return engine.Tag{}
+	}
+	return e.pages[lpn].tag
+}
+
+// SeqOf reports the newest program sequence of the logical page (0 if
+// unmapped) — the last delta's sequence, or the base's when the chain is
+// empty.
+func (e *Engine) SeqOf(lpn int64) uint64 {
+	if !e.Mapped(lpn) {
+		return 0
+	}
+	pm := &e.pages[lpn]
+	if n := len(pm.chain); n > 0 {
+		return pm.chain[n-1].seq
+	}
+	return pm.baseSeq
+}
+
+// ForEachMapped calls fn for every mapped logical page with its tag.
+func (e *Engine) ForEachMapped(fn func(lpn int64, tag engine.Tag)) {
+	for lpn := int64(0); lpn < e.logicalPages; lpn++ {
+		if e.pages[lpn].basePpn != -1 {
+			fn(lpn, e.pages[lpn].tag)
+		}
+	}
+}
+
+// WritePageTagged stores one page. An unmapped page (or a tag change,
+// which only a base record can persist) writes a fresh base; a mapped
+// page diffs against its current image and appends only the changed
+// range as a delta record, promoting to a fresh base when the chain or
+// the diff has grown past the configured bounds.
+func (e *Engine) WritePageTagged(lpn int64, data []byte, tag engine.Tag) (err error) {
+	if err := e.checkLPN(lpn); err != nil {
+		return err
+	}
+	if len(data) != e.cfg.PageBytes {
+		return fmt.Errorf("%w: got %d want %d", ErrBadSize, len(data), e.cfg.PageBytes)
+	}
+	sp := e.span("write_page")
+	defer func() { sp.End(int64(len(data)), err) }()
+	e.hostWrites.Inc()
+	e.hostBytes.Add(int64(len(data)))
+
+	pm := &e.pages[lpn]
+	if pm.basePpn == -1 || tag != pm.tag {
+		return e.writeBase(lpn, data, tag)
+	}
+	// Diff against the current merged image; the reads are charged
+	// device work — the price of knowing what changed.
+	if err := e.mergeInto(lpn, e.mergeBuf); err != nil {
+		return err
+	}
+	lo, hi := diffRange(e.mergeBuf, data)
+	if lo >= hi {
+		// Identical to what is already durable: nothing to persist.
+		return nil
+	}
+	if len(pm.chain) >= e.cfg.MaxChain || hi-lo >= e.cfg.PromoteBytes {
+		e.promotion.Inc()
+		return e.writeBase(lpn, data, tag)
+	}
+	return e.appendDelta(lpn, lo, data[lo:hi])
+}
+
+// diffRange returns the smallest [lo, hi) covering every byte where old
+// and new differ; lo == hi means the images are identical.
+func diffRange(old, new []byte) (lo, hi int) {
+	n := len(old)
+	for lo = 0; lo < n && old[lo] == new[lo]; lo++ {
+	}
+	if lo == n {
+		return n, n
+	}
+	for hi = n; old[hi-1] == new[hi-1]; hi-- {
+	}
+	return lo, hi
+}
+
+// writeBase programs a full fresh base page for lpn. Its new sequence
+// number supersedes the old base and every chained delta at Mount, so
+// the in-memory supersede below is crash-equivalent.
+func (e *Engine) writeBase(lpn int64, data []byte, tag engine.Tag) error {
+	if !e.cleaning {
+		if err := e.ensureSpace(); err != nil {
+			return err
+		}
+	}
+	ppn, err := e.allocBaseUnit()
+	if err != nil {
+		return err
+	}
+	if _, err := e.dev.Program(e.unitAddr(ppn), data); err != nil {
+		return err
+	}
+	e.writeSeq++
+	encodeUnitRecord(e.oobBuf[:], e.writeSeq, unitKindBase, lpn, tag)
+	if _, err := e.dev.ProgramSpare(ppn, e.oobBuf[:]); err != nil {
+		return err
+	}
+	e.supersede(lpn)
+	pm := &e.pages[lpn]
+	pm.basePpn, pm.baseSeq, pm.tag = ppn, e.writeSeq, tag
+	e.rev[ppn] = lpn
+	e.blocks[e.blockOf(ppn)].liveBases++
+	return nil
+}
+
+// supersede releases the page's current base and chain accounting (the
+// on-flash records stay until their blocks are erased; newer sequence
+// numbers keep them dead across a remount).
+func (e *Engine) supersede(lpn int64) {
+	pm := &e.pages[lpn]
+	if pm.basePpn != -1 {
+		e.blocks[e.blockOf(pm.basePpn)].liveBases--
+		e.rev[pm.basePpn] = -1
+	}
+	e.releaseChain(pm)
+	pm.basePpn = -1
+	pm.baseSeq = 0
+}
+
+func (e *Engine) releaseChain(pm *pageMeta) {
+	for i := range pm.chain {
+		b := e.blockOfAddr(pm.chain[i].addr)
+		e.blocks[b].liveDeltas--
+		e.blocks[b].liveDeltaBytes -= int64(pm.chain[i].rec)
+	}
+	pm.chain = pm.chain[:0]
+}
+
+// appendDelta writes one delta record to the delta log head.
+func (e *Engine) appendDelta(lpn int64, off int, payload []byte) error {
+	rec := deltaHdrBytes + len(payload)
+	if !e.cleaning {
+		if err := e.ensureSpace(); err != nil {
+			return err
+		}
+	}
+	addr, err := e.deltaSpace(rec)
+	if err != nil {
+		return err
+	}
+	e.writeSeq++
+	buf := e.recBuf[:rec]
+	encodeDeltaRecord(buf, e.writeSeq, lpn, off, payload)
+	if _, err := e.dev.Program(addr, buf); err != nil {
+		return err
+	}
+	pm := &e.pages[lpn]
+	pm.chain = append(pm.chain, deltaRef{seq: e.writeSeq, addr: addr, off: off, n: len(payload), rec: rec})
+	b := e.blockOfAddr(addr)
+	e.blocks[b].liveDeltas++
+	e.blocks[b].liveDeltaBytes += int64(rec)
+	e.deltaWrites.Inc()
+	return nil
+}
+
+// deltaSpace reserves rec bytes in the delta log, opening the next unit
+// (its spare record marks it as a log before any record lands in it —
+// the crash-ordering that keeps torn tails invisible) or a fresh block
+// as needed, and returns the record's device address.
+func (e *Engine) deltaSpace(rec int) (int64, error) {
+	for {
+		if e.deltaActive != -1 && e.deltaOff+rec <= e.cfg.PageBytes {
+			ppn := int64(e.deltaActive)*int64(e.ppb) + int64(e.deltaPtr)
+			addr := e.unitAddr(ppn) + int64(e.deltaOff)
+			e.deltaOff += rec
+			e.blocks[e.deltaActive].appended += int64(rec)
+			return addr, nil
+		}
+		if e.deltaActive != -1 && e.deltaPtr+1 < e.ppb {
+			e.deltaPtr++
+		} else {
+			if e.deltaActive != -1 {
+				e.blocks[e.deltaActive].active = false
+			}
+			blk, ok := e.takeFreeBlock()
+			if !ok {
+				return 0, ErrNoSpace
+			}
+			e.blocks[blk].kind = blockDelta
+			e.blocks[blk].active = true
+			e.deltaActive = blk
+			e.deltaPtr = 0
+		}
+		e.deltaOff = 0
+		ppn := int64(e.deltaActive)*int64(e.ppb) + int64(e.deltaPtr)
+		e.writeSeq++
+		encodeUnitRecord(e.oobBuf[:], e.writeSeq, unitKindDelta, 0, engine.Tag{})
+		if _, err := e.dev.ProgramSpare(ppn, e.oobBuf[:]); err != nil {
+			return 0, err
+		}
+		e.blocks[e.deltaActive].unitsUsed++
+	}
+}
+
+// allocBaseUnit returns the next unit of the base log head, opening a
+// fresh block when the head is full. It does not clean; the caller
+// guarantees space.
+func (e *Engine) allocBaseUnit() (int64, error) {
+	if e.baseActive == -1 || e.basePtr >= e.ppb {
+		if e.baseActive != -1 {
+			e.blocks[e.baseActive].active = false
+		}
+		blk, ok := e.takeFreeBlock()
+		if !ok {
+			return -1, ErrNoSpace
+		}
+		e.blocks[blk].kind = blockBase
+		e.blocks[blk].active = true
+		e.baseActive = blk
+		e.basePtr = 0
+	}
+	ppn := int64(e.baseActive)*int64(e.ppb) + int64(e.basePtr)
+	e.basePtr++
+	e.blocks[e.baseActive].unitsUsed++
+	return ppn, nil
+}
+
+// takeFreeBlock removes and returns the lowest-numbered free block —
+// deterministic, and wear-unaware for now (the device's own telemetry
+// tracks the spread).
+func (e *Engine) takeFreeBlock() (int, bool) {
+	if e.freeCount == 0 {
+		return -1, false
+	}
+	for b := 0; b < e.numBlocks; b++ {
+		if e.blocks[b].kind == blockFree && !e.blocks[b].retired {
+			e.freeCount--
+			return b, true
+		}
+	}
+	return -1, false
+}
+
+// mergeInto reads the page's current image into buf: the base page,
+// then every chained delta in sequence order. All charged device reads.
+func (e *Engine) mergeInto(lpn int64, buf []byte) error {
+	pm := &e.pages[lpn]
+	if _, err := e.dev.Read(e.unitAddr(pm.basePpn), buf); err != nil {
+		return err
+	}
+	for i := range pm.chain {
+		d := &pm.chain[i]
+		if _, err := e.dev.Read(d.addr+deltaHdrBytes, e.readBuf[:d.n]); err != nil {
+			return err
+		}
+		copy(buf[d.off:d.off+d.n], e.readBuf[:d.n])
+	}
+	return nil
+}
+
+// ReadPage fetches one page into buf, merging the delta chain over the
+// base image.
+func (e *Engine) ReadPage(lpn int64, buf []byte) (err error) {
+	if err := e.checkLPN(lpn); err != nil {
+		return err
+	}
+	if len(buf) != e.cfg.PageBytes {
+		return fmt.Errorf("%w: got %d want %d", ErrBadSize, len(buf), e.cfg.PageBytes)
+	}
+	sp := e.span("read_page")
+	defer func() { sp.End(int64(len(buf)), err) }()
+	e.hostReads.Inc()
+	if e.pages[lpn].basePpn == -1 {
+		// Never written: the host sees erased bytes, free of charge.
+		for i := range buf {
+			buf[i] = 0xFF
+		}
+		return nil
+	}
+	return e.mergeInto(lpn, buf)
+}
+
+// TrimPage drops the logical page. The on-flash records stay until
+// cleaning erases them, so a trimmed page may resurrect after a power
+// cut — but only with bytes it actually held, which is the contract.
+func (e *Engine) TrimPage(lpn int64) error {
+	if err := e.checkLPN(lpn); err != nil {
+		return err
+	}
+	if e.pages[lpn].basePpn == -1 {
+		return nil
+	}
+	e.supersede(lpn)
+	e.pages[lpn].tag = engine.Tag{}
+	return nil
+}
+
+// FreeBlocks reports the current free-block count.
+func (e *Engine) FreeBlocks() int { return e.freeCount }
+
+// CleanerLag reports how many blocks the cleaner is behind its
+// free-space target — the same definition the FTL exposes, so the
+// serving layer's admission control works unchanged.
+func (e *Engine) CleanerLag() int {
+	target := e.cfg.IdleCleanThreshold
+	if target <= 0 {
+		target = e.cfg.ReserveBlocks + 1
+	}
+	if lag := target - e.freeCount; lag > 0 {
+		return lag
+	}
+	return 0
+}
+
+// ensureSpace cleans until the free pool is above the reserve.
+func (e *Engine) ensureSpace() error {
+	for e.freeCount <= e.cfg.ReserveBlocks {
+		victim := e.pickVictim()
+		if victim == -1 {
+			if e.freeCount > 0 {
+				return nil
+			}
+			return ErrNoSpace
+		}
+		if err := e.cleanOne(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CleanIdle reclaims during idle time until IdleCleanThreshold blocks
+// are free (or nothing has dead space), taking cleaning off the write
+// path.
+func (e *Engine) CleanIdle() error {
+	if e.cfg.IdleCleanThreshold <= 0 {
+		return nil
+	}
+	defer e.obs.PushCause(obs.CauseIdleClean)()
+	for e.freeCount < e.cfg.IdleCleanThreshold {
+		victim := e.pickVictim()
+		if victim == -1 {
+			return nil
+		}
+		e.idleCleans.Inc()
+		if err := e.cleanOne(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictim returns the closed block with the most dead bytes, or -1.
+// Dead bytes are what an erase reclaims beyond what relocation must
+// rewrite; a block with none offers no gain.
+func (e *Engine) pickVictim() int {
+	best := -1
+	var bestDead int64
+	for b := 0; b < e.numBlocks; b++ {
+		info := &e.blocks[b]
+		if info.kind == blockFree || info.active || info.retired || info.unitsUsed == 0 {
+			continue
+		}
+		var used, live int64
+		if info.kind == blockBase {
+			used = int64(info.unitsUsed) * int64(e.cfg.PageBytes)
+			live = int64(info.liveBases) * int64(e.cfg.PageBytes)
+		} else {
+			used = info.appended
+			live = info.liveDeltaBytes
+		}
+		if dead := used - live; dead > 0 && (best == -1 || dead > bestDead) {
+			best = b
+			bestDead = dead
+		}
+	}
+	return best
+}
+
+// cleanOne relocates every page with state in the victim block and
+// erases it. Relocation is crash-safe: a page either promotes (a fresh
+// base atomically supersedes its history) or folds its whole chain into
+// one delta record whose content equals the chain's net effect — at any
+// power cut the scan reconstructs either the old image or the new one,
+// never a hybrid.
+func (e *Engine) cleanOne(victim int) (err error) {
+	// Same induced-span and cause conventions as the FTL cleaner: a
+	// clean under a request context is induced work charged to the
+	// clean stage; programs and the erase are charged to the cleaner
+	// cause unless an idle-clean scope is already active.
+	sp := e.obs.InducedSpan(e.clock, e.dev.Meter(), "pdl", "clean", obs.StageClean)
+	defer func() { sp.End(int64(e.ppb)*int64(e.cfg.PageBytes), err) }()
+	if e.obs.Cause() != obs.CauseIdleClean {
+		defer e.obs.PushCause(obs.CauseCleanerMigrate)()
+	}
+	e.cleans.Inc()
+	e.cleaning = true
+	defer func() { e.cleaning = false }()
+
+	for lpn := int64(0); lpn < e.logicalPages; lpn++ {
+		pm := &e.pages[lpn]
+		if pm.basePpn == -1 {
+			continue
+		}
+		mustPromote := e.blockOf(pm.basePpn) == victim
+		touched := mustPromote
+		if !touched {
+			for i := range pm.chain {
+				if e.blockOfAddr(pm.chain[i].addr) == victim {
+					touched = true
+					break
+				}
+			}
+		}
+		if !touched {
+			continue
+		}
+		if err := e.mergeInto(lpn, e.mergeBuf); err != nil {
+			return err
+		}
+		lo, hi := 0, 0
+		if !mustPromote {
+			lo, hi = chainHull(pm.chain)
+		}
+		if mustPromote || hi-lo >= e.cfg.PromoteBytes {
+			if err := e.writeBase(lpn, e.mergeBuf, pm.tag); err != nil {
+				return err
+			}
+		} else if err := e.foldChain(lpn, lo, hi); err != nil {
+			return err
+		}
+		e.copies.Inc()
+	}
+	return e.eraseBlock(victim)
+}
+
+// chainHull returns the smallest [lo, hi) covering every chained
+// delta's range.
+func chainHull(chain []deltaRef) (lo, hi int) {
+	lo, hi = chain[0].off, chain[0].off+chain[0].n
+	for i := 1; i < len(chain); i++ {
+		if chain[i].off < lo {
+			lo = chain[i].off
+		}
+		if end := chain[i].off + chain[i].n; end > hi {
+			hi = end
+		}
+	}
+	return lo, hi
+}
+
+// foldChain replaces the page's whole chain with a single delta record
+// covering the chain's hull, payload taken from the already-merged image
+// in mergeBuf. Old records survive on flash with older sequence numbers;
+// reapplying them under the folded record reproduces the same bytes, so
+// a cut anywhere leaves a consistent image.
+func (e *Engine) foldChain(lpn int64, lo, hi int) error {
+	rec := deltaHdrBytes + (hi - lo)
+	addr, err := e.deltaSpace(rec)
+	if err != nil {
+		return err
+	}
+	e.writeSeq++
+	buf := e.recBuf[:rec]
+	encodeDeltaRecord(buf, e.writeSeq, lpn, lo, e.mergeBuf[lo:hi])
+	if _, err := e.dev.Program(addr, buf); err != nil {
+		return err
+	}
+	pm := &e.pages[lpn]
+	e.releaseChain(pm)
+	pm.chain = append(pm.chain, deltaRef{seq: e.writeSeq, addr: addr, off: lo, n: hi - lo, rec: rec})
+	b := e.blockOfAddr(addr)
+	e.blocks[b].liveDeltas++
+	e.blocks[b].liveDeltaBytes += int64(rec)
+	return nil
+}
+
+// eraseBlock erases a relocated victim back into the free pool,
+// retiring it instead if it has worn out.
+func (e *Engine) eraseBlock(victim int) error {
+	var err error
+	if e.cfg.BackgroundErase {
+		err = e.dev.EraseAsync(victim)
+	} else {
+		_, err = e.dev.Erase(victim)
+	}
+	if err != nil {
+		if errors.Is(err, flash.ErrWornOut) {
+			e.retireBlock(victim)
+			return nil // the pool shrank, but the clean freed its pages
+		}
+		return err
+	}
+	e.resetBlock(victim)
+	return nil
+}
+
+func (e *Engine) resetBlock(b int) {
+	base := int64(b) * int64(e.ppb)
+	for i := 0; i < e.ppb; i++ {
+		e.rev[base+int64(i)] = -1
+	}
+	e.blocks[b] = blockInfo{kind: blockFree}
+	e.freeCount++
+}
+
+func (e *Engine) retireBlock(b int) {
+	base := int64(b) * int64(e.ppb)
+	for i := 0; i < e.ppb; i++ {
+		e.rev[base+int64(i)] = -1
+	}
+	e.blocks[b] = blockInfo{retired: true}
+	e.retired++
+	// Shrink the logical space: the device lost a block of capacity.
+	e.logicalPages -= int64(e.ppb)
+	if e.logicalPages < 0 {
+		e.logicalPages = 0
+	}
+}
+
+// Stats summarises the engine counters.
+func (e *Engine) Stats() engine.Stats {
+	ds := e.dev.Stats()
+	hb := e.hostBytes.Value()
+	wa := 0.0
+	if hb > 0 {
+		wa = float64(ds.BytesProgrammed) / float64(hb)
+	}
+	margin := 0.0
+	if e.numBlocks > 0 {
+		margin = float64(e.freeCount) / float64(e.numBlocks)
+	}
+	return engine.Stats{
+		HostWrites:           e.hostWrites.Value(),
+		HostReads:            e.hostReads.Value(),
+		HostBytesWritten:     hb,
+		FlashBytesProgrammed: ds.BytesProgrammed,
+		FlashReads:           ds.Reads,
+		Erases:               ds.Erases,
+		Cleans:               e.cleans.Value(),
+		CopiedPages:          e.copies.Value(),
+		IdleCleans:           e.idleCleans.Value(),
+		WriteAmplification:   wa,
+		FreeBlocks:           e.freeCount,
+		FreeBlockMargin:      margin,
+		RetiredBlocks:        e.retired,
+	}
+}
+
+// DeltaWrites reports how many overwrites were absorbed as delta
+// records; Promotions how many overwrites forced a fresh base because
+// the chain or the diff outgrew its bound. E15 reads both.
+func (e *Engine) DeltaWrites() int64 { return e.deltaWrites.Value() }
+
+// Promotions reports chain-bound and diff-size promotions to a fresh
+// base.
+func (e *Engine) Promotions() int64 { return e.promotion.Value() }
+
+// CheckInvariants verifies internal consistency; the crash-test
+// enumerator calls it after every simulated power cut. It returns the
+// first violation found.
+func (e *Engine) CheckInvariants() error {
+	type tally struct {
+		bases      int
+		deltas     int
+		deltaBytes int64
+	}
+	tallies := make([]tally, e.numBlocks)
+	for lpn := int64(0); lpn < e.logicalPages; lpn++ {
+		pm := &e.pages[lpn]
+		if pm.basePpn == -1 {
+			if len(pm.chain) != 0 {
+				return fmt.Errorf("pdl: unmapped page %d carries a %d-record chain", lpn, len(pm.chain))
+			}
+			continue
+		}
+		b := e.blockOf(pm.basePpn)
+		if e.blocks[b].kind != blockBase {
+			return fmt.Errorf("pdl: page %d base unit %d in non-base block %d", lpn, pm.basePpn, b)
+		}
+		if e.rev[pm.basePpn] != lpn {
+			return fmt.Errorf("pdl: page %d base unit %d reverse-maps to %d", lpn, pm.basePpn, e.rev[pm.basePpn])
+		}
+		tallies[b].bases++
+		prev := pm.baseSeq
+		for i := range pm.chain {
+			d := &pm.chain[i]
+			if d.seq <= prev {
+				return fmt.Errorf("pdl: page %d chain sequence %d not after %d", lpn, d.seq, prev)
+			}
+			prev = d.seq
+			db := e.blockOfAddr(d.addr)
+			if e.blocks[db].kind != blockDelta {
+				return fmt.Errorf("pdl: page %d delta at %d in non-delta block %d", lpn, d.addr, db)
+			}
+			if d.off < 0 || d.off+d.n > e.cfg.PageBytes {
+				return fmt.Errorf("pdl: page %d delta range [%d,%d) outside the page", lpn, d.off, d.off+d.n)
+			}
+			tallies[db].deltas++
+			tallies[db].deltaBytes += int64(d.rec)
+		}
+	}
+	free := 0
+	for b := 0; b < e.numBlocks; b++ {
+		info := &e.blocks[b]
+		if info.retired {
+			continue
+		}
+		if info.kind == blockFree {
+			free++
+			if off, dirty := e.blockNonBlankAt(b); dirty {
+				return fmt.Errorf("pdl: free block %d not erased at offset %d", b, off)
+			}
+			continue
+		}
+		t := tallies[b]
+		if info.liveBases != t.bases || info.liveDeltas != t.deltas || info.liveDeltaBytes != t.deltaBytes {
+			return fmt.Errorf("pdl: block %d live counts bases=%d/%d deltas=%d/%d bytes=%d/%d",
+				b, info.liveBases, t.bases, info.liveDeltas, t.deltas, info.liveDeltaBytes, t.deltaBytes)
+		}
+	}
+	if free != e.freeCount {
+		return fmt.Errorf("pdl: free count %d, scan found %d", e.freeCount, free)
+	}
+	return nil
+}
+
+// blockNonBlankAt reports the first non-erased byte offset in the
+// block's data or spare area, using uncharged peeks.
+func (e *Engine) blockNonBlankAt(b int) (off int64, ok bool) {
+	dc := e.dev.Config()
+	start := e.dev.BlockAddr(b)
+	for i := int64(0); i < int64(dc.BlockBytes); i++ {
+		if e.dev.Peek(start+i) != 0xFF {
+			return i, true
+		}
+	}
+	if dc.SpareBytes > 0 {
+		firstUnit := start / int64(dc.SpareUnitBytes)
+		unitsPerBlock := int64(dc.BlockBytes / dc.SpareUnitBytes)
+		for u := int64(0); u < unitsPerBlock; u++ {
+			for j, sb := range e.dev.PeekSpare(firstUnit + u) {
+				if sb != 0xFF {
+					return int64(dc.BlockBytes) + u*int64(dc.SpareBytes) + int64(j), true
+				}
+			}
+		}
+	}
+	return 0, false
+}

@@ -135,21 +135,40 @@ func HealthFromSnapshot(snap obs.Snapshot, device string) (HealthReport, error) 
 	}
 	r.Lifetime = fmtLifetime(r.LifetimeSeconds)
 
-	ftlLbl := obs.Labels{"layer": "ftl"}
-	if free, ok := findGauge(snap, "free_blocks", ftlLbl); ok {
-		r.FreeBlocks = free
-		if blocks > 0 {
-			r.FreeBlockMargin = free / blocks
-		}
-	} else {
-		r.FreeBlocks, r.FreeBlockMargin = -1, -1
+	// The translation-layer gauges carry an engine label now that more
+	// than one backend exists; probe each known label set (including the
+	// pre-engine legacy form, so old snapshots still render) and use the
+	// first that has data.
+	engineLbls := []obs.Labels{
+		{"layer": "ftl", "engine": "ftl"},
+		{"layer": "ftl"},
+		{"layer": "pdl", "engine": "pdl"},
 	}
-	if wa, ok := findGauge(snap, "write_amplification", ftlLbl); ok {
-		r.WriteAmplification = wa
-		for _, c := range obs.Causes {
-			v, _ := findGauge(snap, "write_amplification", obs.Labels{"layer": "ftl", "cause": string(c)})
-			r.WriteAmpByCause = append(r.WriteAmpByCause, CauseAmount{Cause: string(c), Value: v})
+	r.FreeBlocks, r.FreeBlockMargin = -1, -1
+	for _, lbl := range engineLbls {
+		free, freeOK := findGauge(snap, "free_blocks", lbl)
+		wa, waOK := findGauge(snap, "write_amplification", lbl)
+		if !freeOK && !waOK {
+			continue
 		}
+		if freeOK {
+			r.FreeBlocks = free
+			if blocks > 0 {
+				r.FreeBlockMargin = free / blocks
+			}
+		}
+		if waOK {
+			r.WriteAmplification = wa
+			for _, c := range obs.Causes {
+				cl := obs.Labels{"cause": string(c)}
+				for k, v := range lbl {
+					cl[k] = v
+				}
+				v, _ := findGauge(snap, "write_amplification", cl)
+				r.WriteAmpByCause = append(r.WriteAmpByCause, CauseAmount{Cause: string(c), Value: v})
+			}
+		}
+		break
 	}
 	return r, nil
 }

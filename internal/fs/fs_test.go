@@ -8,6 +8,7 @@ import (
 
 	"ssmobile/internal/device"
 	"ssmobile/internal/dram"
+	engineftl "ssmobile/internal/engine/ftl"
 	"ssmobile/internal/flash"
 	"ssmobile/internal/ftl"
 	"ssmobile/internal/sim"
@@ -55,7 +56,7 @@ func newParts(t testing.TB) *rig {
 		BlockBytes: 4096,
 		DRAMBase:   1 << 20, DRAMBytes: 2 << 20,
 		WriteBackDelay: 30 * sim.Second,
-	}, clock, dr, fl)
+	}, clock, dr, engineftl.Wrap(fl))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -232,11 +232,14 @@ func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 	f.copies = o.Counter("copied_pages_total", obs.Labels{"layer": "ftl"})
 	f.staticMoves = o.Counter("static_moves_total", obs.Labels{"layer": "ftl"})
 	f.idleCleans = o.Counter("idle_cleans_total", obs.Labels{"layer": "ftl"})
-	o.GaugeFunc("free_blocks", obs.Labels{"layer": "ftl"}, func() float64 { return float64(f.freeCount) })
+	// Wear and cleaning gauges carry an "engine" label so alternative
+	// storage backends (engine/pdl) report the same series into shared
+	// dashboards without colliding.
+	o.GaugeFunc("free_blocks", obs.Labels{"layer": "ftl", "engine": "ftl"}, func() float64 { return float64(f.freeCount) })
 	// The serving layer reads this same lag signal to decide when to shed
 	// load, so backpressure and dashboards share one definition of
 	// "cleaner behind".
-	o.GaugeFunc("cleaner_lag_blocks", obs.Labels{"layer": "ftl"}, func() float64 { return float64(f.CleanerLag()) })
+	o.GaugeFunc("cleaner_lag_blocks", obs.Labels{"layer": "ftl", "engine": "ftl"}, func() float64 { return float64(f.CleanerLag()) })
 	// Write amplification: flash bytes programmed per host byte written,
 	// overall and decomposed by wear-attribution cause (the device charges
 	// every program to the observer's active obs.Cause). The per-cause
@@ -250,11 +253,11 @@ func New(dev *flash.Device, clock *sim.Clock, cfg Config) (*FTL, error) {
 			return float64(flashBytes()) / float64(hb)
 		}
 	}
-	o.GaugeFunc("write_amplification", obs.Labels{"layer": "ftl"},
+	o.GaugeFunc("write_amplification", obs.Labels{"layer": "ftl", "engine": "ftl"},
 		waOver(func() int64 { return f.dev.Stats().BytesProgrammed }))
 	for _, c := range obs.Causes {
 		c := c
-		o.GaugeFunc("write_amplification", obs.Labels{"layer": "ftl", "cause": string(c)},
+		o.GaugeFunc("write_amplification", obs.Labels{"layer": "ftl", "engine": "ftl", "cause": string(c)},
 			waOver(func() int64 { return f.dev.CauseBytesProgrammed(c) }))
 	}
 	for i := range f.mapping {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"ssmobile/internal/engine"
 	"ssmobile/internal/flash"
 	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
@@ -12,8 +13,10 @@ import (
 
 // Tag is opaque caller metadata attached to a logical page (typically an
 // object id and block index). With mapping persistence on, it is stored
-// in the page's out-of-band record and recovered by Mount.
-type Tag [16]byte
+// in the page's out-of-band record and recovered by Mount. It aliases
+// the storage-engine tag type so *FTL's tagged methods satisfy the
+// engine interface directly, without conversion shims on the hot path.
+type Tag = engine.Tag
 
 // OOBRecordBytes is the size of the out-of-band record persisted per
 // page: a magic word, the program sequence number, the logical page

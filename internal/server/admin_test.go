@@ -67,7 +67,7 @@ func TestHealthzAdmissionStates(t *testing.T) {
 	}
 	ageCard(t, sys)
 	srv, err := server.New(server.Backend{
-		FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+		FS: sys.FS, Storage: sys.Storage, Engine: sys.Engine, Clock: sys.Clock(),
 	}, server.Config{HighWatermark: 0.05, LowWatermark: 0.01, Obs: o})
 	if err != nil {
 		t.Fatal(err)

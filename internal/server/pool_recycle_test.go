@@ -81,7 +81,7 @@ func TestParallelWorkloadDriversDeterministic(t *testing.T) {
 			return server.RunStats{}, err
 		}
 		srv, err := server.New(server.Backend{
-			FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+			FS: sys.FS, Storage: sys.Storage, Engine: sys.Engine, Clock: sys.Clock(),
 		}, server.Config{Obs: o})
 		if err != nil {
 			return server.RunStats{}, err

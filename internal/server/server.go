@@ -35,8 +35,8 @@ import (
 	"strconv"
 	"sync"
 
+	"ssmobile/internal/engine"
 	"ssmobile/internal/fs"
-	"ssmobile/internal/ftl"
 	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 	"ssmobile/internal/storman"
@@ -63,7 +63,7 @@ var (
 type Backend struct {
 	FS      *fs.FS
 	Storage *storman.Manager
-	FTL     *ftl.FTL
+	Engine  engine.Engine
 	Clock   *sim.Clock
 }
 
@@ -201,8 +201,8 @@ type Server struct {
 
 // New builds a server over the backend.
 func New(b Backend, cfg Config) (*Server, error) {
-	if b.FS == nil || b.Storage == nil || b.FTL == nil || b.Clock == nil {
-		return nil, fmt.Errorf("server: backend needs FS, Storage, FTL and Clock")
+	if b.FS == nil || b.Storage == nil || b.Engine == nil || b.Clock == nil {
+		return nil, fmt.Errorf("server: backend needs FS, Storage, Engine and Clock")
 	}
 	cfg = cfg.withDefaults()
 	o := obs.Or(cfg.Obs)
@@ -443,7 +443,7 @@ func queueDelay(now sim.Time, arrival sim.Time) sim.Duration {
 // occupancy drops to the low watermark or the cleaner catches up.
 func (s *Server) updateAdmission() {
 	occ := s.b.Storage.BufferOccupancy()
-	lag := s.b.FTL.CleanerLag()
+	lag := s.b.Engine.CleanerLag()
 	if !s.shedding {
 		if occ >= s.cfg.HighWatermark && lag > 0 {
 			s.shedding = true

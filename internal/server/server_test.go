@@ -39,7 +39,7 @@ func newStack(t *testing.T, cfg core.SolidStateConfig) (*core.SolidStateSystem, 
 		t.Fatal(err)
 	}
 	srv, err := server.New(server.Backend{
-		FS: sys.FS, Storage: sys.Storage, FTL: sys.FTL, Clock: sys.Clock(),
+		FS: sys.FS, Storage: sys.Storage, Engine: sys.Engine, Clock: sys.Clock(),
 	}, server.Config{Obs: cfg.Obs})
 	if err != nil {
 		t.Fatal(err)

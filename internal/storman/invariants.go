@@ -87,7 +87,7 @@ func (m *Manager) CheckInvariants() error {
 				return fmt.Errorf("block %+v claims unmapped flash page %d", key, loc.lpn)
 			}
 			// Tags exist only when the translation layer persists them.
-			if m.fl.Config().PersistMapping && m.fl.TagOf(loc.lpn) != encodeTag(key) {
+			if m.fl.PersistsMapping() && m.fl.TagOf(loc.lpn) != encodeTag(key) {
 				return fmt.Errorf("flash page %d tagged %x, block %+v expects %x",
 					loc.lpn, m.fl.TagOf(loc.lpn), key, encodeTag(key))
 			}

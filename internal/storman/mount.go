@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"ssmobile/internal/dram"
-	"ssmobile/internal/ftl"
+	"ssmobile/internal/engine"
 	"ssmobile/internal/sim"
 )
 
@@ -16,15 +16,15 @@ import (
 // storage-manager pages from anything else that might write the layer.
 const tagMarker = 0xA5
 
-func encodeTag(key Key) ftl.Tag {
-	var tag ftl.Tag
+func encodeTag(key Key) engine.Tag {
+	var tag engine.Tag
 	binary.LittleEndian.PutUint64(tag[0:], key.Object)
 	binary.LittleEndian.PutUint64(tag[8:], uint64(key.Block))
 	tag[15] = tagMarker
 	return tag
 }
 
-func decodeTag(tag ftl.Tag) (Key, bool) {
+func decodeTag(tag engine.Tag) (Key, bool) {
 	if tag[15] != tagMarker {
 		return Key{}, false
 	}
@@ -34,18 +34,18 @@ func decodeTag(tag ftl.Tag) (Key, bool) {
 	return Key{Object: obj, Block: blk}, true
 }
 
-// Mount rebuilds a storage manager over a translation layer that was
-// itself just mounted from a device scan (ftl.Mount): every tagged flash
+// Mount rebuilds a storage manager over a storage engine that was
+// itself just mounted from a device scan: every tagged flash
 // page becomes a flash-resident block in the placement table, and
 // untagged pages are trimmed as orphans. DRAM-resident state is gone by
 // definition — this is the power-failure path — so the DRAM buffer
 // starts empty. Recovered blocks are assumed full-page sized; the file
 // system's inode sizes clamp reads, so over-length tails are invisible.
-func Mount(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Manager, error) {
-	if !fl.Config().PersistMapping {
-		return nil, fmt.Errorf("storman: Mount requires a translation layer with PersistMapping")
+func Mount(cfg Config, clock *sim.Clock, dramDev *dram.Device, eng engine.Engine) (*Manager, error) {
+	if !eng.PersistsMapping() {
+		return nil, fmt.Errorf("storman: Mount requires an engine with a persistent mapping")
 	}
-	m, err := New(cfg, clock, dramDev, fl)
+	m, err := New(cfg, clock, dramDev, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +54,7 @@ func Mount(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Ma
 	m.freeLPN = m.freeLPN[:0]
 	inUse := make(map[int64]bool)
 	var orphans []int64
-	fl.ForEachMapped(func(lpn int64, tag ftl.Tag) {
+	eng.ForEachMapped(func(lpn int64, tag engine.Tag) {
 		key, ok := decodeTag(tag)
 		if !ok {
 			orphans = append(orphans, lpn)
@@ -64,7 +64,7 @@ func Mount(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Ma
 		// to the power failure and the key was re-created at a new page:
 		// keep the one with the newer program sequence.
 		if prev := m.lookup(key); prev != nil {
-			if fl.SeqOf(prev.lpn) >= fl.SeqOf(lpn) {
+			if eng.SeqOf(prev.lpn) >= eng.SeqOf(lpn) {
 				orphans = append(orphans, lpn)
 				return
 			}
@@ -83,11 +83,11 @@ func Mount(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Ma
 		m.insert(loc)
 	})
 	for _, lpn := range orphans {
-		if err := fl.TrimPage(lpn); err != nil {
+		if err := eng.TrimPage(lpn); err != nil {
 			return nil, err
 		}
 	}
-	for lpn := fl.LogicalPages() - 1; lpn >= 0; lpn-- {
+	for lpn := eng.LogicalPages() - 1; lpn >= 0; lpn-- {
 		if !inUse[lpn] {
 			m.freeLPN = append(m.freeLPN, lpn)
 		}

@@ -30,7 +30,7 @@ import (
 	"sort"
 
 	"ssmobile/internal/dram"
-	"ssmobile/internal/ftl"
+	"ssmobile/internal/engine"
 	"ssmobile/internal/obs"
 	"ssmobile/internal/sim"
 )
@@ -194,7 +194,7 @@ type Manager struct {
 	cfg   Config
 	clock *sim.Clock
 	dram  *dram.Device
-	fl    *ftl.FTL
+	fl    engine.Engine
 
 	table    map[Key]*blockLoc
 	byObject map[uint64]map[int64]*blockLoc
@@ -240,12 +240,12 @@ type Manager struct {
 
 // New builds a manager over the DRAM device region and the translation
 // layer. The FTL's page size must equal cfg.BlockBytes.
-func New(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl *ftl.FTL) (*Manager, error) {
+func New(cfg Config, clock *sim.Clock, dramDev *dram.Device, fl engine.Engine) (*Manager, error) {
 	if cfg.BlockBytes <= 0 {
 		return nil, fmt.Errorf("storman: non-positive block size")
 	}
 	if fl.PageBytes() != cfg.BlockBytes {
-		return nil, fmt.Errorf("storman: block size %d != ftl page size %d", cfg.BlockBytes, fl.PageBytes())
+		return nil, fmt.Errorf("storman: block size %d != engine page size %d", cfg.BlockBytes, fl.PageBytes())
 	}
 	if cfg.DRAMBase < 0 || cfg.DRAMBytes < 0 || cfg.DRAMBase+cfg.DRAMBytes > dramDev.Capacity() {
 		return nil, fmt.Errorf("storman: DRAM region [%d,%d) outside device of %d",

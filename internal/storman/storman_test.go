@@ -7,6 +7,7 @@ import (
 
 	"ssmobile/internal/device"
 	"ssmobile/internal/dram"
+	engineftl "ssmobile/internal/engine/ftl"
 	"ssmobile/internal/flash"
 	"ssmobile/internal/ftl"
 	"ssmobile/internal/sim"
@@ -17,7 +18,7 @@ type rig struct {
 	meter *sim.EnergyMeter
 	dram  *dram.Device
 	flash *flash.Device
-	fl    *ftl.FTL
+	fl    *engineftl.Engine
 	m     *Manager
 }
 
@@ -35,7 +36,7 @@ func newRig(t testing.TB, dramBufBytes int64, delay sim.Duration) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl, err := ftl.New(fd, clock, ftl.Config{
+	fl, err := engineftl.New(fd, clock, ftl.Config{
 		PageBytes:       4096,
 		ReserveBlocks:   3,
 		Policy:          ftl.PolicyCostBenefit,
