@@ -47,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -146,6 +147,7 @@ func main() {
 	case "smoke":
 		runErr = smoke(tcp, admin, smokeConfig{
 			clients: *clients, ops: *ops, seed: *seed, writeRatio: *writeRatio,
+			nodes: *nodeCount,
 		})
 	default:
 		flag.Usage()
@@ -248,16 +250,34 @@ func build(bc buildConfig) (*server.TCP, *server.Admin, func(), *obs.Observer, e
 		}
 		nodes[i], privs[i] = node, priv
 	}
-	cl, err := cluster.New(nodes, cluster.Config{})
+	// The router's own telemetry (replica-latency fan-out, fleet gauges,
+	// cluster request spans) lives on the ambient observer, and the event
+	// journal is shared with node 0's observer — the one the ops surface
+	// and flight recorder are bound to — so /debug/events and incident
+	// dumps both see the control-plane history.
+	el := obs.NewEventLog(0)
+	bc.obs.SetEventLog(el)
+	privs[0].SetEventLog(el)
+	cl, err := cluster.New(nodes, cluster.Config{Obs: bc.obs})
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
 	merge := func() {
-		for _, priv := range privs {
-			bc.obs.Merge(priv)
+		// Stamp each node's series with its node label at merge time, so
+		// identically-named per-node series survive into the merged
+		// registry (and the -metrics dump ssmtrace fleet reads) instead of
+		// colliding.
+		for i, priv := range privs {
+			bc.obs.MergeLabeled(priv, obs.Labels{"node": nodes[i].Name})
 		}
 	}
-	return server.NewTCP(cl), server.NewAdmin(nodes[0].Srv, privs[0]), merge, privs[0], nil
+	admin := server.NewAdmin(nodes[0].Srv, privs[0])
+	// /metrics serves the live merged fleet snapshot (per-node series
+	// under their node label, assembled at scrape time), and /debug/fleet
+	// the rollup computed from the same snapshot.
+	admin.SetSnapshotSource(cl.FleetSnapshot)
+	admin.SetFleet(func() (any, error) { return cluster.FleetFromSnapshot(cl.FleetSnapshot()) })
+	return server.NewTCP(cl), admin, merge, privs[0], nil
 }
 
 // serve listens until SIGINT/SIGTERM, then drains: in-flight requests
@@ -293,6 +313,7 @@ type smokeConfig struct {
 	clients, ops int
 	seed         int64
 	writeRatio   float64
+	nodes        int
 }
 
 // smoke serves on a loopback port and drives every generated client
@@ -337,11 +358,19 @@ func smoke(tcp *server.TCP, admin *server.Admin, sc smokeConfig) error {
 
 	// Scrape the ops surface while the server is still live, before the
 	// drain tears anything down — exactly what a monitoring agent sees.
-	if err := scrapeMetrics(admin.Addr().String()); err != nil {
+	if err := scrapeMetrics(admin.Addr().String(), sc.nodes); err != nil {
 		return fmt.Errorf("smoke /metrics: %w", err)
 	}
 	if err := scrapeHealth(admin.Addr().String()); err != nil {
 		return fmt.Errorf("smoke /debug/health: %w", err)
+	}
+	if sc.nodes > 1 {
+		if err := scrapeFleet(admin.Addr().String(), sc.nodes); err != nil {
+			return fmt.Errorf("smoke /debug/fleet: %w", err)
+		}
+		if err := scrapeEvents(admin.Addr().String()); err != nil {
+			return fmt.Errorf("smoke /debug/events: %w", err)
+		}
 	}
 	admin.SetDraining(true)
 	if err := tcp.Shutdown(); err != nil {
@@ -373,8 +402,12 @@ func smoke(tcp *server.TCP, admin *server.Admin, sc smokeConfig) error {
 
 // scrapeMetrics fetches /metrics over HTTP and validates the Prometheus
 // text exposition, requiring the series an operator dashboard depends
-// on. A malformed line or a missing series fails the smoke run.
-func scrapeMetrics(adminAddr string) error {
+// on. A malformed line or a missing series fails the smoke run. In
+// cluster mode (nodes > 1) the scrape additionally requires the router's
+// replica-latency fan-out series and a node-labelled per-node sample —
+// the regression the fleet snapshot exists to prevent is identically
+// named node series collapsing into one.
+func scrapeMetrics(adminAddr string, nodes int) error {
 	resp, err := http.Get("http://" + adminAddr + "/metrics")
 	if err != nil {
 		return err
@@ -402,10 +435,74 @@ func scrapeMetrics(adminAddr string) error {
 		"wear_blocks_le",
 		"erase_rate_per_s",
 	}
+	if nodes > 1 {
+		required = append(required,
+			"serve_replica_latency",
+			"cluster_node_up",
+			"cluster_ring_share_ppm",
+			"cluster_under_replicated_keys",
+		)
+	}
 	if err := obs.CheckExposition(body, required); err != nil {
 		return err
 	}
+	if nodes > 1 {
+		for i := 0; i < nodes; i++ {
+			label := fmt.Sprintf("node=%q", fmt.Sprintf("n%d", i))
+			if !strings.Contains(string(body), label) {
+				return fmt.Errorf("exposition has no %s-labelled series", label)
+			}
+		}
+	}
 	fmt.Printf("ssmserve: /metrics ok, %d bytes, required series present\n", len(body))
+	return nil
+}
+
+// scrapeFleet fetches the cluster-wide /debug/fleet rollup and sanity
+// checks it: every configured node present and up (smoke kills nobody).
+func scrapeFleet(adminAddr string, nodes int) error {
+	resp, err := http.Get("http://" + adminAddr + "/debug/fleet")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	var rep cluster.FleetReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return err
+	}
+	if len(rep.Nodes) != nodes {
+		return fmt.Errorf("fleet report has %d nodes, want %d", len(rep.Nodes), nodes)
+	}
+	for _, n := range rep.Nodes {
+		if !n.Up {
+			return fmt.Errorf("fleet report says node %s is down", n.Name)
+		}
+	}
+	fmt.Printf("ssmserve: /debug/fleet ok, %d nodes up, fleet lifetime %s\n",
+		len(rep.Nodes), rep.Lifetime)
+	return nil
+}
+
+// scrapeEvents fetches the /debug/events journal and verifies it parses
+// as an event stream (it may legitimately be empty — a healthy smoke run
+// triggers no control-plane transitions).
+func scrapeEvents(adminAddr string) error {
+	resp, err := http.Get("http://" + adminAddr + "/debug/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	events, _, err := obs.LoadEvents(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ssmserve: /debug/events ok, %d events\n", len(events))
 	return nil
 }
 

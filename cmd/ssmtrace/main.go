@@ -8,6 +8,8 @@
 //	ssmtrace attribute [-top N] [-metrics FILE] [FILE]
 //	ssmtrace wear [-device NAME] [FILE]
 //	ssmtrace health [-device NAME] [-json] [FILE]
+//	ssmtrace events [FILE]
+//	ssmtrace fleet [-json] [FILE]
 //
 // All subcommands accept -cpuprofile/-memprofile for pprof profiles.
 // Generated traces use the text format of internal/trace: one operation
@@ -26,6 +28,14 @@
 // burn rate and the remaining lifetime at that rate. The health numbers
 // are the same pure function of the snapshot the server's /debug/health
 // serves live, so the two can never disagree.
+//
+// events replays a recorded cluster event journal — the JSONL stream
+// /debug/events serves, or a flight-recorder dump (whose "events" field
+// carries the journal) — as the same timeline table experiment E16
+// prints. fleet reads a node-labelled metrics snapshot (the -metrics
+// dump of a cluster-mode ssmserve run) and renders the cluster-wide
+// health rollup /debug/fleet serves live, through the same
+// cluster.FleetFromSnapshot pure function.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"os"
 	"sort"
 
+	"ssmobile/internal/cluster"
 	"ssmobile/internal/flash"
 	"ssmobile/internal/obs"
 	"ssmobile/internal/prof"
@@ -59,6 +70,10 @@ func main() {
 		run = wear
 	case "health":
 		run = health
+	case "events":
+		run = events
+	case "fleet":
+		run = fleet
 	default:
 		usage()
 	}
@@ -98,6 +113,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       ssmtrace attribute [-top N] [-metrics FILE] [FILE]")
 	fmt.Fprintln(os.Stderr, "       ssmtrace wear [-device NAME] [FILE]")
 	fmt.Fprintln(os.Stderr, "       ssmtrace health [-device NAME] [-json] [FILE]")
+	fmt.Fprintln(os.Stderr, "       ssmtrace events [FILE]")
+	fmt.Fprintln(os.Stderr, "       ssmtrace fleet [-json] [FILE]")
 	os.Exit(2)
 }
 
@@ -158,6 +175,72 @@ func health(args []string, pf *profFlags) error {
 		return err
 	}
 	rep, err := flash.HealthFromSnapshot(snap, *device)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	rep.Fprint(os.Stdout)
+	return nil
+}
+
+// events replays a recorded cluster event journal (the /debug/events
+// JSONL stream, or a flight-recorder dump) as the E16 timeline table.
+func events(args []string, pf *profFlags) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	pf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	stopCPU, err := prof.StartCPU(pf.cpu)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
+	var r io.Reader = os.Stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	evs, dropped, err := obs.LoadEvents(r)
+	if err != nil {
+		return err
+	}
+	obs.FprintEvents(os.Stdout, evs, dropped)
+	return nil
+}
+
+// fleet renders the cluster-wide health rollup from a node-labelled
+// metrics snapshot; -json emits the same document /debug/fleet serves.
+func fleet(args []string, pf *profFlags) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON (the /debug/fleet document)")
+	pf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	stopCPU, err := prof.StartCPU(pf.cpu)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
+	snap, err := readSnapshot(fs)
+	if err != nil {
+		return err
+	}
+	rep, err := cluster.FleetFromSnapshot(snap)
 	if err != nil {
 		return err
 	}

@@ -103,6 +103,16 @@ type Config struct {
 	// backoff is the point: the idle gap is cleaner time.
 	ShedRetries int
 	ShedBackoff sim.Duration
+	// Obs is the router's own observer — distinct from the per-node
+	// observers, which carry each card's telemetry. The router registers
+	// its fan-out metrics (per-holder replica latency, the straggler
+	// gauge, fleet health gauges) here, records cluster-level request
+	// spans into its tracer, and appends control-plane events to its
+	// attached EventLog. Nil disables router telemetry entirely; there is
+	// deliberately no fallback to the process default observer, so
+	// concurrent experiment cells never race to register on a shared
+	// registry.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults(nodes int) Config {
@@ -187,6 +197,23 @@ type Cluster struct {
 	opsSince int
 	degraded bool // some entry is under-copied or has stale copies to purge
 	st       Stats
+
+	// Router observability (see observe.go). obs is cfg.Obs (may be nil —
+	// every probe is nil-safe); clock is the router's own virtual clock,
+	// advanced to max(arrival, previous position) per request so cluster
+	// spans and events carry coherent times without ever touching a node
+	// clock. repLat holds the per-rank holder-latency histograms (rank 0
+	// is the primary), straggler the slowest-minus-median gauge, and the
+	// fleet gauges summarise directory degradation and per-node state.
+	obs                              *obs.Observer
+	clock                            *sim.Clock
+	repLat                           []*obs.Histogram
+	straggler                        *obs.Gauge
+	underRepl, tombKeys, staleCopies *obs.Gauge
+	nodeUp, nodeCordoned             []*obs.Gauge
+	hl                               []holderLat // scratch: last request's fan-out
+	latScratch                       []holderLat // scratch: straggler-gap sort
+	lastReadFailovers                int64       // ReadFailovers at last finishRequest
 }
 
 // New builds a router over the given nodes.
@@ -210,7 +237,7 @@ func New(nodes []*Node, cfg Config) (*Cluster, error) {
 		}
 	}
 	cfg = cfg.withDefaults(len(nodes))
-	return &Cluster{
+	c := &Cluster{
 		cfg:      cfg,
 		nodes:    nodes,
 		down:     make([]bool, len(nodes)),
@@ -219,7 +246,9 @@ func New(nodes []*Node, cfg Config) (*Cluster, error) {
 		ring:     buildRing(names, cfg.VirtualPoints),
 		dir:      make(map[string]map[uint64]*entry),
 		sessions: make(map[string]*Session),
-	}, nil
+	}
+	c.initObservability()
+	return c, nil
 }
 
 // Nodes reports the node list (for CLIs and tests).
@@ -271,6 +300,14 @@ func (s *Session) nodeSession(i int) (server.RequestDoer, error) {
 // Do routes one request: sync fans out to every live node, reads go to
 // the first live holder (failing over across replicas), and writes land
 // on every live holder with node-local shed retry.
+//
+// Around the dispatch the router runs its own observability: a
+// cluster-layer request span on the router clock, one child span per
+// holder the fan-out touched (carrying the holder's node name and its
+// individual latency — the decomposition of "acknowledged at the
+// slowest holder"), and the per-rank replica-latency histograms. None
+// of it reads or advances a node clock, so results are byte-identical
+// with telemetry on or off.
 func (s *Session) Do(req server.Request) (server.Response, error) {
 	c := s.c
 	c.mu.Lock()
@@ -280,14 +317,20 @@ func (s *Session) Do(req server.Request) (server.Response, error) {
 		c.opsSince = 0
 		c.checkHealth(req.Arrival)
 	}
+	start, tc := c.beginRequest(req)
+	c.hl = c.hl[:0]
+	var resp server.Response
+	var err error
 	switch req.Kind {
 	case server.OpSync:
-		return s.doSync(req)
+		resp, err = s.doSync(req)
 	case server.OpGet:
-		return s.doGet(req)
+		resp, err = s.doGet(req)
 	default:
-		return s.doWrite(req)
+		resp, err = s.doWrite(req)
 	}
+	c.finishRequest(tc, req, start, resp, err)
+	return resp, err
 }
 
 // doSync fans the sync to every live node in index order — a tenant's
@@ -313,6 +356,7 @@ func (s *Session) doSync(req server.Request) (server.Response, error) {
 			return server.Response{}, err
 		}
 		live++
+		c.hl = append(c.hl, holderLat{node: i, lat: r.Latency})
 		if !r.Batched {
 			allBatched = false
 		}
@@ -358,6 +402,7 @@ func (s *Session) doGet(req server.Request) (server.Response, error) {
 			if rank > 0 {
 				c.st.ReadFailovers++
 			}
+			c.hl = append(c.hl, holderLat{node: h, lat: r.Latency})
 			c.st.Completed++
 			return r, nil
 		}
@@ -398,6 +443,8 @@ func (s *Session) doWrite(req server.Request) (server.Response, error) {
 		if e.deleted && len(e.stale) == 0 {
 			// The delete has now reached every copy; the tombstone is done.
 			delete(c.dir[s.tenant], req.Key)
+			c.logEvent(req.Arrival, obs.EventTombstoneResolve, "",
+				"pending delete reached every copy", 1)
 			e = nil
 		}
 	}
@@ -428,6 +475,7 @@ func (s *Session) doWrite(req server.Request) (server.Response, error) {
 				resp.Latency = r.Latency
 			}
 			applied = append(applied, h)
+			c.hl = append(c.hl, holderLat{node: h, lat: r.Latency})
 		case errors.Is(err, server.ErrOverloaded):
 			if len(applied) == 0 {
 				// The effective primary stayed overloaded through the
@@ -437,6 +485,8 @@ func (s *Session) doWrite(req server.Request) (server.Response, error) {
 				return server.Response{}, err
 			}
 			c.st.ReplicaSheds++
+			c.logEvent(req.Arrival, obs.EventReplicaShed, c.nodes[h].Name,
+				"replica overloaded past the retry budget; primary copy intact", 1)
 			if wasHolder(h) {
 				missed = append(missed, h)
 			}
@@ -558,6 +608,10 @@ func (c *Cluster) noteWrite(tenant string, applied, missed []int, req server.Req
 			delete(m, req.Key)
 			return
 		}
+		if !e.deleted {
+			c.logEvent(req.Arrival, obs.EventTombstoneCreate, c.nodeNames(stale),
+				"delete missed a holder; key pinned until every copy is purged", 1)
+		}
 		e.deleted = true
 		e.holders = e.holders[:0]
 		e.size = 0
@@ -636,14 +690,31 @@ func (c *Cluster) checkHealth(arrival sim.Time) {
 		case !c.cordoned[i] && margin < c.cfg.RebalanceMargin:
 			c.cordoned[i] = true
 			c.st.Rebalances++
-			c.migrateOff(i, arrival)
+			c.logEvent(arrival, obs.EventCordon, c.nodes[i].Name,
+				fmt.Sprintf("free-block margin %.3f < %.3f", margin, c.cfg.RebalanceMargin), 0)
+			moved := c.migrateOff(i, arrival)
+			if moved > 0 {
+				c.logEvent(arrival, obs.EventMigrate, c.nodes[i].Name,
+					"keys moved off the cordoned card to healthier nodes", moved)
+			}
+			// Capture the span tail around the rebalance: the requests that
+			// aged the card into its margin are the interesting ones.
+			c.dump("cordon")
 		case c.cordoned[i] && margin >= c.cfg.UncordonMargin:
 			c.cordoned[i] = false
+			c.logEvent(arrival, obs.EventUncordon, c.nodes[i].Name,
+				fmt.Sprintf("free-block margin %.3f >= %.3f", margin, c.cfg.UncordonMargin), 0)
 		}
 	}
 	if c.degraded {
+		healedBefore := c.st.HealedKeys
 		c.degraded = c.heal() > 0
+		if healed := c.st.HealedKeys - healedBefore; healed > 0 {
+			c.logEvent(arrival, obs.EventHeal, "",
+				"re-replicated under-copied keys to the target copy count", int(healed))
+		}
 	}
+	c.refreshFleetGauges()
 }
 
 // nodeMargin reads node i's free-block margin from its health report —
@@ -666,8 +737,9 @@ func (c *Cluster) nodeMargin(i int) (float64, bool) {
 // the cordoned one (its cleaner gets the space back), and rewrite the
 // directory entry — promoting the first surviving replica when the
 // primary moves. Sweeps run in sorted (tenant, key) order so the
-// migration traffic is deterministic. Caller holds c.mu.
-func (c *Cluster) migrateOff(i int, arrival sim.Time) {
+// migration traffic is deterministic. It reports how many keys moved.
+// Caller holds c.mu.
+func (c *Cluster) migrateOff(i int, arrival sim.Time) (moved int) {
 	tenants := make([]string, 0, len(c.dir))
 	for tn := range c.dir {
 		tenants = append(tenants, tn)
@@ -711,8 +783,10 @@ func (c *Cluster) migrateOff(i int, arrival sim.Time) {
 			e.holders = append(holders, repl)
 			e.stale = removeNode(e.stale, repl) // the copy just landed is fresh
 			c.st.MigratedKeys++
+			moved++
 		}
 	}
+	return moved
 }
 
 // copyObject replicates key k onto node repl, reading from the first
@@ -774,6 +848,10 @@ func (c *Cluster) KillNode(i int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.down[i] = true
+	c.logEvent(c.maxClock(), obs.EventKill, c.nodes[i].Name,
+		"operator kill; unsynced state lost", 0)
+	c.refreshFleetGauges()
+	c.dump("kill")
 }
 
 // RestartNode recovers a killed node through its Restart hook (remount
@@ -800,7 +878,16 @@ func (c *Cluster) RestartNode(i int) error {
 	n.Srv = srv
 	c.down[i] = false
 	c.gen[i]++
+	c.logEvent(c.maxClock(), obs.EventRestart, n.Name,
+		"remounted from flash; synced data recovered", 0)
+	healedBefore := c.st.HealedKeys
 	c.degraded = c.heal() > 0
+	if healed := c.st.HealedKeys - healedBefore; healed > 0 {
+		c.logEvent(c.maxClock(), obs.EventHeal, n.Name,
+			"post-restart heal restored the target copy count", int(healed))
+	}
+	c.refreshFleetGauges()
+	c.dump("restart")
 	return nil
 }
 
@@ -843,6 +930,8 @@ func (c *Cluster) heal() (remaining int) {
 			if e.deleted {
 				if len(e.stale) == 0 {
 					delete(m, k)
+					c.logEvent(now, obs.EventTombstoneResolve, "",
+						"pending delete reached every copy", 1)
 				} else {
 					remaining++
 				}

@@ -322,3 +322,28 @@ func TestE14DeterministicAcrossParallelism(t *testing.T) {
 		t.Error("E14 table missing from output")
 	}
 }
+
+// TestE16DeterministicAcrossParallelism extends the contract to the
+// fleet-observability experiment: the event journal's timeline, the
+// per-holder latency decomposition, and the fleet rollup are all pure
+// functions of the seed at any -parallel level.
+func TestE16DeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fleet experiment twice")
+	}
+	var serial, parallel strings.Builder
+	if err := core.RunExperimentParallel(&serial, "e16", 1993, 1); err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if err := core.RunExperimentParallel(&parallel, "e16", 1993, 8); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("E16 output differs between -parallel 1 and 8")
+	}
+	for _, want := range []string{"E16b", "E16c", "E16d", "kill", "restart"} {
+		if !strings.Contains(serial.String(), want) {
+			t.Errorf("E16 output missing %q", want)
+		}
+	}
+}

@@ -35,6 +35,9 @@ type ClusterNodeConfig struct {
 // into the ambient observer after the run for deterministic telemetry.
 func NewClusterNode(cfg ClusterNodeConfig) (*cluster.Node, *obs.Observer, error) {
 	priv := obs.New(cfg.TraceCapacity)
+	// Stamp the node's name onto every span its stack records, so a
+	// merged cross-node trace still attributes each span to its card.
+	priv.Tracer.SetNode(cfg.Name)
 	scfg := cfg.System
 	scfg.Obs = priv
 	sys, err := NewSolidState(scfg)
@@ -138,7 +141,7 @@ func E14Cluster(env *Env, seed int64) (*Table, error) {
 		// free-block margin, so the last row's cordon fires on the
 		// router's first health sweep; baseline cards cordon only
 		// transiently, when a write burst outruns their cleaner.
-		cl, err := cluster.New(nodes, cluster.Config{RebalanceMargin: 0.05})
+		cl, err := cluster.New(nodes, cluster.Config{RebalanceMargin: 0.05, Obs: je.Obs()})
 		if err != nil {
 			return err
 		}

@@ -72,6 +72,7 @@ func Registry(seed int64) map[string]Runner {
 		"e13":  one(func(env *Env) (*Table, error) { return E13WearAging(env, seed) }),
 		"e14":  one(func(env *Env) (*Table, error) { return E14Cluster(env, seed) }),
 		"e15":  one(func(env *Env) (*Table, error) { return E15EngineHeadToHead(env, seed) }),
+		"e16":  func(env *Env) ([]*Table, error) { return E16Fleet(env, seed) },
 	}
 }
 
@@ -95,6 +96,7 @@ func Descriptions() map[string]string {
 		"e13":  "wear attribution over a lifetime (§3.3): years of bursty traffic age one card; write amplification decomposed by cause, wear spread, and the SMART-style health report's burn-rate lifetime",
 		"e14":  "cluster scale-out (§4): the saturation workload sharded across N server nodes by consistent hash, with replicated writes, node-local shed retry, and health-driven rebalancing off an aging card",
 		"e15":  "storage-engine head-to-head (§3.3): page-mapped FTL vs page-differential logging on an overwrite-heavy serving mix — throughput, tail latency, write amplification and erase load per backend",
+		"e16":  "fleet observability (§4): a cluster driven through cordon, kill and restart — the event journal's virtual-time timeline, per-holder replica latency decomposition, and the fleet health rollup aggregating per-card SMART reports",
 	}
 }
 

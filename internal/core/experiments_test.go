@@ -55,10 +55,10 @@ func TestAllExperimentsRun(t *testing.T) {
 
 func TestExperimentIDsStable(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 16 {
-		t.Fatalf("have %d experiments, want 16: %v", len(ids), ids)
+	if len(ids) != 17 {
+		t.Fatalf("have %d experiments, want 17: %v", len(ids), ids)
 	}
-	if ids[0] != "e1" || ids[9] != "e10" || ids[13] != "e14" || ids[14] != "e15" || ids[15] != "e12b" {
+	if ids[0] != "e1" || ids[9] != "e10" || ids[13] != "e14" || ids[15] != "e16" || ids[16] != "e12b" {
 		t.Fatalf("ordering wrong: %v", ids)
 	}
 }

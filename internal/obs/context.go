@@ -295,6 +295,28 @@ func stageName(idx int) string {
 	return BreakdownStages[idx]
 }
 
+// HolderSpan records a closed child span of the request root attributing
+// one holder's share of a replicated operation: the primary's service
+// time and each replica's, as separate children carrying the holder's
+// node name. The cluster router calls it after the fan-out completes —
+// the holders' latencies are already known, so the span is recorded
+// retroactively with explicit bounds rather than opened and closed. It
+// does not touch the stage accrual: holder time overlaps the root span's
+// wall time (replicas are charged at the slowest holder), and the
+// per-stage breakdown already accounts for it once.
+func (tc *TraceContext) HolderSpan(node, op string, start, end sim.Time, bytes int64, outcome string) {
+	if tc == nil {
+		return
+	}
+	tc.t.Record(Span{
+		Start: start, End: end,
+		Layer: tc.layer, Op: op,
+		Bytes: bytes, Outcome: outcome,
+		ID: tc.o.spanIDs.Add(1), Parent: tc.root,
+		Node: node,
+	})
+}
+
 // Finish closes the request: it records the root span (with the queue
 // delay and outcome), uninstalls the context from the observer, and
 // returns the per-stage latency breakdown. Safe on a nil context.

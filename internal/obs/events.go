@@ -1,0 +1,266 @@
+// The cluster event journal: a bounded, virtual-time-stamped stream of
+// structured control-plane events — cordons, migrations, heals, replica
+// sheds, tombstone lifecycle, node kills and restarts. Request telemetry
+// (spans, histograms) answers "where did the time go"; the journal
+// answers "what did the fleet DO and why", in the order it happened, on
+// the same virtual clock the spans use — so an operator can line a
+// cordon event up against the latency spike it caused.
+//
+// The journal is deliberately tiny and append-only: events are rare
+// (control-plane rate, not request rate), so a small ring with a mutex
+// costs nothing on the serve hot path, which never touches it.
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"ssmobile/internal/sim"
+)
+
+// Cluster event types. The constants are the wire strings — they appear
+// verbatim in /debug/events JSONL, flight records, and ssmtrace output.
+const (
+	EventCordon           = "cordon"
+	EventUncordon         = "uncordon"
+	EventMigrate          = "migrate"
+	EventHeal             = "heal"
+	EventReplicaShed      = "replica-shed"
+	EventTombstoneCreate  = "tombstone-create"
+	EventTombstoneResolve = "tombstone-resolve"
+	EventKill             = "kill"
+	EventRestart          = "restart"
+)
+
+// Event is one control-plane occurrence: what happened, to which node,
+// why, and how many keys it touched. Time is virtual, on the same clock
+// as the span stream.
+type Event struct {
+	Time sim.Time `json:"time_ns"`
+	Type string   `json:"type"`
+	// Node names the node the event concerns (the cordoned node, the
+	// killed node, the shed-target holder).
+	Node string `json:"node,omitempty"`
+	// Cause is the short reason string ("wear", "operator", "margin
+	// 0.031 < 0.050"); empty when the type says it all.
+	Cause string `json:"cause,omitempty"`
+	// Keys counts the directory keys the event affected (keys migrated
+	// off a cordoned node, keys re-replicated by a heal); 0 when the
+	// event is not about keys.
+	Keys int `json:"keys,omitempty"`
+}
+
+// DefaultEventCapacity bounds the journal when the caller does not
+// choose. Control-plane events are rare; 4k covers days of simulated
+// churn while keeping the footprint trivial.
+const DefaultEventCapacity = 1 << 12
+
+// EventLog is a bounded append-only ring of events. When full the oldest
+// events are overwritten; Dropped reports how many were lost. Safe for
+// concurrent use.
+type EventLog struct {
+	mu       sync.Mutex
+	ring     []Event
+	capacity int
+	length   int
+	next     int
+	total    int64
+}
+
+// NewEventLog returns a journal retaining up to capacity events (<=0
+// selects DefaultEventCapacity).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{capacity: capacity}
+}
+
+// Append records one event. Nil-safe, so subsystems can log
+// unconditionally and pay nothing when no journal is attached.
+func (l *EventLog) Append(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.ring == nil {
+		// Lazily size the ring small and grow to capacity on demand, so
+		// short-lived logs cost only what they record.
+		l.ring = make([]Event, 0, min(64, l.capacity))
+	}
+	if l.length < l.capacity {
+		l.ring = append(l.ring, ev)
+		l.length++
+	} else {
+		l.ring[l.next] = ev
+		l.next = (l.next + 1) % l.capacity
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.length)
+	out = append(out, l.ring[l.next:l.length]...)
+	return append(out, l.ring[:l.next]...)
+}
+
+// Total reports how many events were ever appended.
+func (l *EventLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dropped reports how many events the ring has overwritten.
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total - int64(l.length)
+}
+
+// Merge re-appends src's retained events into l (oldest first) and
+// carries src's drop count over, mirroring Tracer.Merge: the parallel
+// engine merges per-job journals in job order, so the merged stream is
+// schedule-independent. src must not be appending concurrently.
+func (l *EventLog) Merge(src *EventLog) {
+	if l == nil || src == nil {
+		return
+	}
+	events := src.Events()
+	dropped := src.Dropped()
+	for _, ev := range events {
+		l.Append(ev)
+	}
+	if dropped > 0 {
+		l.mu.Lock()
+		l.total += dropped
+		l.mu.Unlock()
+	}
+}
+
+// WriteJSONL writes the journal as JSON lines: a header object
+// {"events":N,"dropped":M} followed by one event per line — the format
+// /debug/events serves and ssmtrace events replays.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	events := l.Events()
+	dropped := l.Dropped()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"events\":%d,\"dropped\":%d}\n", len(events), dropped)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadEvents reads a recorded event stream from either supported format:
+// an events JSONL stream (header line {"events":N,"dropped":M}, one
+// event object per line) or a flight-record JSON document (whose
+// "events" field is an array). It returns the events oldest-first and
+// the recorded drop count — the mirror of LoadSpans for the journal.
+func LoadEvents(r io.Reader) ([]Event, int64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	// A flight record is one JSON object whose "events" is an array; the
+	// JSONL header carries "events" as a number.
+	var probe struct {
+		Events json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(data, &probe); err == nil && len(probe.Events) > 0 && probe.Events[0] == '[' {
+		var fr FlightRecord
+		if err := json.Unmarshal(data, &fr); err != nil {
+			return nil, 0, fmt.Errorf("obs: flight record: %w", err)
+		}
+		return fr.Events, fr.EventsDropped, nil
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var events []Event
+	var dropped int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		if line == 1 {
+			var hdr struct {
+				Events  int64 `json:"events"`
+				Dropped int64 `json:"dropped"`
+			}
+			if err := json.Unmarshal(text, &hdr); err == nil {
+				dropped = hdr.Dropped
+				continue
+			}
+			// No header: fall through and treat the line as an event.
+		}
+		var ev Event
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return nil, 0, fmt.Errorf("obs: event line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return events, dropped, nil
+}
+
+// FprintEvents renders an event stream as an aligned timeline table —
+// the view `ssmtrace events` shows when replaying a /debug/events dump
+// or a flight record offline.
+func FprintEvents(w io.Writer, events []Event, dropped int64) {
+	fmt.Fprintf(w, "%-18s %-18s %-6s %6s  %s\n", "TIME", "EVENT", "NODE", "KEYS", "CAUSE")
+	for _, ev := range events {
+		keys := ""
+		if ev.Keys != 0 {
+			keys = fmt.Sprintf("%d", ev.Keys)
+		}
+		fmt.Fprintf(w, "%-18s %-18s %-6s %6s  %s\n",
+			ev.Time.String(), ev.Type, ev.Node, keys, ev.Cause)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", dropped)
+	}
+}
+
+// SetEventLog attaches a journal to the observer (nil detaches), the
+// same pattern as SetFlightRecorder: subsystems holding only the
+// observer log events without extra plumbing, and pay a nil check when
+// no journal is attached.
+func (o *Observer) SetEventLog(l *EventLog) {
+	if o == nil {
+		return
+	}
+	o.events.Store(l)
+}
+
+// EventLog reports the attached journal, or nil.
+func (o *Observer) EventLog() *EventLog {
+	if o == nil {
+		return nil
+	}
+	return o.events.Load()
+}

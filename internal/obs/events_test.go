@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ssmobile/internal/sim"
+)
+
+func ev(t int64, typ, node string, keys int) Event {
+	return Event{Time: sim.Time(t), Type: typ, Node: node, Keys: keys}
+}
+
+func TestEventLogRingBoundsAndDropCounting(t *testing.T) {
+	l := NewEventLog(4)
+	for i := int64(0); i < 10; i++ {
+		l.Append(ev(i, EventHeal, "n0", 1))
+	}
+	if got := l.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	if got := l.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	events := l.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	// Oldest-first: the ring kept the newest four (times 6..9).
+	for i, e := range events {
+		if want := sim.Time(6 + i); e.Time != want {
+			t.Errorf("event %d time = %d, want %d", i, e.Time, want)
+		}
+	}
+}
+
+func TestEventLogNilSafety(t *testing.T) {
+	var l *EventLog
+	l.Append(ev(1, EventCordon, "n0", 0)) // must not panic
+	if l.Events() != nil || l.Total() != 0 || l.Dropped() != 0 {
+		t.Error("nil log reported non-zero state")
+	}
+	var o *Observer
+	o.SetEventLog(NewEventLog(1))
+	if o.EventLog() != nil {
+		t.Error("nil observer returned a journal")
+	}
+}
+
+func TestEventLogMergeCarriesEventsAndDrops(t *testing.T) {
+	dst := NewEventLog(16)
+	dst.Append(ev(1, EventCordon, "n0", 0))
+	src := NewEventLog(2)
+	for i := int64(2); i < 7; i++ { // 5 appends into capacity 2 → 3 dropped
+		src.Append(ev(i, EventMigrate, "n1", 3))
+	}
+	dst.Merge(src)
+	if got := dst.Total(); got != 6 {
+		t.Errorf("merged Total = %d, want 6 (1 own + 2 retained + 3 dropped)", got)
+	}
+	if got := dst.Dropped(); got != 3 {
+		t.Errorf("merged Dropped = %d, want 3", got)
+	}
+	events := dst.Events()
+	if len(events) != 3 {
+		t.Fatalf("merged retained %d events, want 3", len(events))
+	}
+	if events[0].Type != EventCordon || events[1].Time != 5 || events[2].Time != 6 {
+		t.Errorf("merged order wrong: %+v", events)
+	}
+}
+
+func TestObserverMergePropagatesJournal(t *testing.T) {
+	// Adoption: a parent with no journal takes the child's.
+	parent, child := New(0), New(0)
+	cl := NewEventLog(8)
+	child.SetEventLog(cl)
+	cl.Append(ev(1, EventKill, "n2", 0))
+	parent.Merge(child)
+	if got := parent.EventLog(); got == nil || got.Total() != 1 {
+		t.Fatal("parent did not adopt the child's journal")
+	}
+
+	// Distinct journals: events append across.
+	p2 := New(0)
+	p2.SetEventLog(NewEventLog(8))
+	p2.MergeLabeled(child, Labels{"node": "n2"})
+	if got := p2.EventLog().Total(); got != 1 {
+		t.Errorf("labeled merge carried %d events, want 1", got)
+	}
+
+	// Shared journal (the ssmserve layout): merging must not duplicate.
+	shared := New(0)
+	shared.SetEventLog(cl)
+	shared.Merge(child)
+	if got := cl.Total(); got != 1 {
+		t.Errorf("shared-journal merge duplicated events: Total = %d, want 1", got)
+	}
+}
+
+func TestEventsJSONLRoundTrip(t *testing.T) {
+	l := NewEventLog(2)
+	l.Append(ev(1, EventCordon, "n0", 0))
+	l.Append(Event{Time: 2, Type: EventMigrate, Node: "n0", Cause: "margin", Keys: 7})
+	l.Append(ev(3, EventUncordon, "n0", 0)) // evicts the first
+	var buf strings.Builder
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, dropped, err := LoadEvents(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if len(events) != 2 || events[0].Type != EventMigrate || events[0].Keys != 7 ||
+		events[0].Cause != "margin" || events[1].Type != EventUncordon {
+		t.Errorf("round-trip mismatch: %+v", events)
+	}
+}
+
+func TestLoadEventsFromFlightRecord(t *testing.T) {
+	rec := FlightRecord{
+		Reason:        "cordon",
+		Events:        []Event{ev(5, EventCordon, "n1", 0), ev(6, EventMigrate, "n1", 4)},
+		EventsDropped: 2,
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, dropped, err := LoadEvents(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Keys != 4 || dropped != 2 {
+		t.Errorf("flight-record load mismatch: %+v dropped=%d", events, dropped)
+	}
+}
+
+func TestFprintEvents(t *testing.T) {
+	var buf strings.Builder
+	FprintEvents(&buf, []Event{
+		ev(int64(sim.Second), EventCordon, "n0", 0),
+		{Time: sim.Time(2 * sim.Second), Type: EventMigrate, Node: "n0", Cause: "margin", Keys: 9},
+	}, 3)
+	out := buf.String()
+	for _, want := range []string{"TIME", "EVENT", "NODE", "KEYS", "CAUSE",
+		"cordon", "migrate", "margin", "9", "(3 earlier events dropped)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

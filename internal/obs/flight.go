@@ -37,6 +37,11 @@ type FlightRecord struct {
 	Dropped int64    `json:"dropped"`
 	Spans   []Span   `json:"spans"`
 	Metrics Snapshot `json:"metrics"`
+	// Events is the cluster event journal retained at dump time (when one
+	// is attached to the observer), so the control-plane history — the
+	// cordon that caused the latency spike the spans show — rides along.
+	Events        []Event `json:"events,omitempty"`
+	EventsDropped int64   `json:"events_dropped,omitempty"`
 }
 
 // FlightRecorder dumps flight records into a directory. Safe for
@@ -97,6 +102,10 @@ func (fr *FlightRecorder) Dump(reason string) (string, error) {
 	}
 	if r := fr.o.Registry; r != nil {
 		rec.Metrics = r.Snapshot()
+	}
+	if l := fr.o.EventLog(); l != nil {
+		rec.Events = l.Events()
+		rec.EventsDropped = l.Dropped()
 	}
 	path := filepath.Join(fr.dir, fmt.Sprintf("flight-%04d-%s.json", fr.seq, sanitizeReason(reason)))
 	f, err := os.Create(path)

@@ -394,6 +394,56 @@ func (r *Registry) Merge(src *Registry) {
 	}
 }
 
+// MergeLabeled is Merge with extra labels stamped onto every collector
+// as it lands in r: merging node registries with {"node": name} keeps
+// identically-named per-node series distinct instead of colliding into
+// one aggregate. Labels already present on a collector win over the
+// extras only if the keys collide — the merge is for adding a dimension,
+// not rewriting one. With no extra labels it is exactly Merge.
+func (r *Registry) MergeLabeled(src *Registry, extra Labels) {
+	if src == nil {
+		return
+	}
+	if len(extra) == 0 {
+		r.Merge(src)
+		return
+	}
+	for _, c := range src.Collectors() {
+		name := c.Name()
+		labels := c.Labels()
+		if labels == nil {
+			labels = make(Labels, len(extra))
+		}
+		for k, v := range extra {
+			if _, ok := labels[k]; !ok {
+				labels[k] = v
+			}
+		}
+		switch sc := c.(type) {
+		case *Counter:
+			r.Counter(name, labels).Add(sc.Value())
+		case *Gauge:
+			g := r.Gauge(name, labels)
+			sc.mu.Lock()
+			fn := sc.fn
+			sc.mu.Unlock()
+			if fn != nil {
+				g.setFunc(fn)
+			} else {
+				g.setFunc(nil)
+				g.Set(sc.Value())
+			}
+		case *Histogram:
+			dst := r.Histogram(name, labels)
+			sc.mu.Lock()
+			dst.mu.Lock()
+			dst.h.Merge(sc.h)
+			dst.mu.Unlock()
+			sc.mu.Unlock()
+		}
+	}
+}
+
 // Collectors returns the registered collectors in registration order.
 func (r *Registry) Collectors() []Collector {
 	r.mu.Lock()
@@ -430,6 +480,9 @@ type Observer struct {
 	// subsystems that witness an incident (power-cut remount) dump
 	// through it without knowing who configured it.
 	flight atomic.Pointer[FlightRecorder]
+	// events is the attached cluster event journal, if any (SetEventLog);
+	// the cluster control plane appends through it the same way.
+	events atomic.Pointer[EventLog]
 }
 
 // New returns an observer with a fresh registry and a tracer holding up to
@@ -499,6 +552,42 @@ func (o *Observer) Merge(src *Observer) {
 	if o.Tracer != nil {
 		o.Tracer.Merge(src.Tracer)
 	}
+	o.mergeEvents(src)
+}
+
+// mergeEvents folds src's event journal into o's: adopt the journal when
+// o has none, append otherwise. A shared journal (the same log attached
+// to both observers, as the cluster front end does) is left alone.
+func (o *Observer) mergeEvents(src *Observer) {
+	sl := src.EventLog()
+	if sl == nil {
+		return
+	}
+	dl := o.EventLog()
+	if dl == nil {
+		o.SetEventLog(sl)
+		return
+	}
+	if dl != sl {
+		dl.Merge(sl)
+	}
+}
+
+// MergeLabeled folds src into o with extra labels stamped onto every
+// metric (see Registry.MergeLabeled). Spans merge unlabelled — they
+// already carry per-node identity via Span.Node when the source tracer
+// was stamped with SetNode.
+func (o *Observer) MergeLabeled(src *Observer, extra Labels) {
+	if o == nil || src == nil {
+		return
+	}
+	if o.Registry != nil {
+		o.Registry.MergeLabeled(src.Registry, extra)
+	}
+	if o.Tracer != nil {
+		o.Tracer.Merge(src.Tracer)
+	}
+	o.mergeEvents(src)
 }
 
 // Default observer: the fallback layers use when their Config carries no

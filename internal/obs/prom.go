@@ -69,6 +69,50 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 	return bw.Flush()
 }
 
+// WriteSnapshotPrometheus renders a point-in-time Snapshot in the
+// Prometheus text exposition format. It exists for views that are
+// assembled rather than registered — the cluster's merged fleet snapshot,
+// where per-node series are stamped with a node label at merge time and
+// no single live registry holds them. Histograms render as summaries
+// from the snapshot's recorded quantiles (p50/p99 — a snapshot carries
+// summaries, not samples), so the quantile set is narrower than the
+// live-registry writer's.
+func WriteSnapshotPrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	// Group by name in first-appearance order: the snapshot is sorted by
+	// key, but key order can interleave names ("foobar" sorts between
+	// "foo" and "foo{a=b}"), and the exposition format wants one
+	// contiguous TYPE block per name.
+	groups := make(map[string][]Metric, len(s.Metrics))
+	var names []string
+	for _, m := range s.Metrics {
+		if _, ok := groups[m.Name]; !ok {
+			names = append(names, m.Name)
+		}
+		groups[m.Name] = append(groups[m.Name], m)
+	}
+	for _, name := range names {
+		group := groups[name]
+		kind := group[0].Kind
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, promType(kind))
+		for _, m := range group {
+			if m.Kind != kind {
+				continue
+			}
+			switch kind {
+			case KindCounter, KindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, "", 0), promValue(m.Value))
+			case KindHistogram:
+				fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, "quantile", 0.5), promValue(m.P50))
+				fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, "quantile", 0.99), promValue(m.P99))
+				fmt.Fprintf(bw, "%s_sum%s %s\n", name, promLabels(m.Labels, "", 0), promValue(m.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", name, promLabels(m.Labels, "", 0), m.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
 func promType(k Kind) string {
 	switch k {
 	case KindCounter:

@@ -54,6 +54,65 @@ func (s Snapshot) Find(name string, labels Labels) (Metric, bool) {
 	return Metric{}, false
 }
 
+// WithLabel returns a copy of the snapshot with key=value stamped onto
+// every metric (existing values for the key win), re-sorted by the new
+// keys. The fleet rollup uses it to tag each node's snapshot before
+// merging them into one fleet-wide view.
+func (s Snapshot) WithLabel(key, value string) Snapshot {
+	out := Snapshot{Metrics: make([]Metric, 0, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		labels := m.Labels.clone()
+		if labels == nil {
+			labels = Labels{}
+		}
+		if _, ok := labels[key]; !ok {
+			labels[key] = value
+		}
+		m.Labels = labels
+		out.Metrics = append(out.Metrics, m)
+	}
+	sort.Slice(out.Metrics, func(i, j int) bool { return out.Metrics[i].Key() < out.Metrics[j].Key() })
+	return out
+}
+
+// FilterLabel returns the sub-snapshot of metrics carrying key=value,
+// with that label stripped — the inverse of WithLabel, recovering one
+// node's snapshot from a merged fleet snapshot so per-device consumers
+// (flash.HealthFromSnapshot) can read it unchanged.
+func (s Snapshot) FilterLabel(key, value string) Snapshot {
+	out := Snapshot{}
+	for _, m := range s.Metrics {
+		if m.Labels[key] != value {
+			continue
+		}
+		labels := m.Labels.clone()
+		delete(labels, key)
+		if len(labels) == 0 {
+			labels = nil
+		}
+		m.Labels = labels
+		out.Metrics = append(out.Metrics, m)
+	}
+	sort.Slice(out.Metrics, func(i, j int) bool { return out.Metrics[i].Key() < out.Metrics[j].Key() })
+	return out
+}
+
+// LabelValues reports the distinct values of a label key across the
+// snapshot, sorted — how the fleet rollup discovers which nodes a merged
+// snapshot contains.
+func (s Snapshot) LabelValues(key string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range s.Metrics {
+		if v, ok := m.Labels[key]; ok && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Diff reports this snapshot relative to an earlier base, so experiments
 // can report deltas instead of absolute totals. Counters subtract values;
 // histograms subtract Count and Sum (Min/Max/P50/P99 keep the newer

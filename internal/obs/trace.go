@@ -48,6 +48,11 @@ type Span struct {
 	// Stage constants and EffectiveStage), resolved at open time so trace
 	// consumers need no stage logic. Empty for background spans.
 	Stage string `json:"stage,omitempty"`
+	// Node names the cluster node the span executed on (or, for the
+	// per-holder child spans a clustered request records, the holder the
+	// latency belongs to). Single-node runs leave it empty, which keeps
+	// their traces — and the goldens pinned against them — byte-identical.
+	Node string `json:"node,omitempty"`
 }
 
 // Duration reports the span's virtual-time extent.
@@ -81,9 +86,10 @@ type Tracer struct {
 	mu       sync.Mutex
 	chunks   [][]Span // backing store; only the last chunk may be short
 	capacity int
-	length   int   // spans retained; grows to capacity, then stops
-	next     int   // ring index the next span overwrites once full
-	total    int64 // spans ever recorded
+	length   int    // spans retained; grows to capacity, then stops
+	next     int    // ring index the next span overwrites once full
+	total    int64  // spans ever recorded
+	node     string // stamped onto recorded spans that carry no node
 }
 
 // NewTracer returns a tracer retaining up to capacity spans (<=0 selects
@@ -103,12 +109,30 @@ func (t *Tracer) Capacity() int {
 	return t.capacity
 }
 
+// SetNode names the cluster node this tracer records for: every span
+// recorded without an explicit Node is stamped with it. Spans merged
+// from a named tracer keep their stamp through Merge (the merge
+// re-records them with Node already set), so per-node identity survives
+// into a fleet-wide ring. The empty default leaves spans unstamped,
+// which is what keeps single-node traces byte-identical.
+func (t *Tracer) SetNode(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.node = name
+	t.mu.Unlock()
+}
+
 // Record appends one finished span.
 func (t *Tracer) Record(sp Span) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
+	if sp.Node == "" {
+		sp.Node = t.node
+	}
 	i := t.next
 	if t.length < t.capacity {
 		i = t.length
@@ -369,6 +393,9 @@ func (s chromeSink) WriteSpans(spans []Span, dropped int64) error {
 		}
 		if sp.Energy != 0 {
 			args["energy_pj"] = int64(sp.Energy)
+		}
+		if sp.Node != "" {
+			args["node"] = sp.Node
 		}
 		events = append(events, chromeEvent{
 			Name: sp.Op, Cat: sp.Layer, Ph: "X",

@@ -14,6 +14,13 @@
 //	                     JSON): endurance budget, wear spread, windowed burn
 //	                     rate and the lifetime left at it; ?device= selects a
 //	                     card other than the default "flash"
+//	/debug/fleet         cluster-wide health rollup (cluster.FleetReport
+//	                     JSON) when a fleet source is configured; 404 on a
+//	                     single node
+//	/debug/events        the cluster event journal as JSONL (cordon,
+//	                     migrate, heal, kill, restart, ...), replayable
+//	                     offline with `ssmtrace events`; 404 when no
+//	                     journal is attached
 //	/debug/pprof/...     net/http/pprof profiles (real time, not virtual)
 //	/debug/flightrecord  trigger an on-demand flight-recorder dump
 package server
@@ -39,12 +46,40 @@ type Admin struct {
 	ln       net.Listener
 	hs       *http.Server
 	draining bool
+
+	// snapshot, when set, replaces the registry as /metrics' source — the
+	// cluster front end installs its merged fleet snapshot here so
+	// per-node series (stamped with a node label at merge time) are
+	// scraped live instead of the front-end registry's last merge.
+	snapshot func() obs.Snapshot
+	// fleet, when set, serves /debug/fleet. The value is whatever the
+	// source marshals to (cluster.FleetReport); typed as any to keep the
+	// server package free of a cluster import.
+	fleet func() (any, error)
 }
 
 // NewAdmin builds the ops surface for srv, exposing o's registry and
 // flight recorder (attach one with o.SetFlightRecorder).
 func NewAdmin(srv *Server, o *obs.Observer) *Admin {
 	return &Admin{srv: srv, o: obs.Or(o)}
+}
+
+// SetSnapshotSource replaces /metrics' data source with a point-in-time
+// snapshot producer (nil restores the registry). The cluster front end
+// uses it so a scrape sees every node's series under its node label,
+// assembled at scrape time.
+func (a *Admin) SetSnapshotSource(fn func() obs.Snapshot) {
+	a.mu.Lock()
+	a.snapshot = fn
+	a.mu.Unlock()
+}
+
+// SetFleet installs the /debug/fleet source (nil uninstalls; the
+// endpoint 404s). The returned value is marshalled as indented JSON.
+func (a *Admin) SetFleet(fn func() (any, error)) {
+	a.mu.Lock()
+	a.fleet = fn
+	a.mu.Unlock()
 }
 
 // SetDraining flips the health status reported by /healthz; the TCP
@@ -63,6 +98,8 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/healthz", a.handleHealthz)
 	mux.HandleFunc("/debug/health", a.handleHealth)
+	mux.HandleFunc("/debug/fleet", a.handleFleet)
+	mux.HandleFunc("/debug/events", a.handleEvents)
 	mux.HandleFunc("/debug/flightrecord", a.handleFlightRecord)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -112,8 +149,17 @@ func (a *Admin) Shutdown() error {
 }
 
 func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	snapshot := a.snapshot
+	a.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := obs.WritePrometheus(w, a.o.Registry); err != nil {
+	var err error
+	if snapshot != nil {
+		err = obs.WriteSnapshotPrometheus(w, snapshot())
+	} else {
+		err = obs.WritePrometheus(w, a.o.Registry)
+	}
+	if err != nil {
 		// Headers are gone; all we can do is note it inline.
 		fmt.Fprintf(w, "# write error: %v\n", err)
 	}
@@ -176,6 +222,46 @@ func (a *Admin) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Write(append(data, '\n'))
+}
+
+// handleFleet serves the cluster-wide health rollup. Like /debug/health
+// it is backed by a pure function of a metrics snapshot
+// (cluster.FleetFromSnapshot), so this endpoint and an offline
+// `ssmtrace fleet` over a -metrics dump can never disagree.
+func (a *Admin) handleFleet(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	fleet := a.fleet
+	a.mu.Unlock()
+	if fleet == nil {
+		http.Error(w, "no fleet source configured (single-node server)", http.StatusNotFound)
+		return
+	}
+	rep, err := fleet()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// handleEvents streams the attached event journal as JSONL — one header
+// line with totals, then one event per line, oldest first.
+func (a *Admin) handleEvents(w http.ResponseWriter, r *http.Request) {
+	l := a.o.EventLog()
+	if l == nil {
+		http.Error(w, "no event journal attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := l.WriteJSONL(w); err != nil {
+		fmt.Fprintf(w, "# write error: %v\n", err)
+	}
 }
 
 func (a *Admin) handleFlightRecord(w http.ResponseWriter, r *http.Request) {
